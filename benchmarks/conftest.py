@@ -1,0 +1,8 @@
+"""Shared benchmark configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print the regenerated tables/figures; keep output visible.
+    config.option.verbose = max(config.option.verbose, 0)

@@ -1,0 +1,123 @@
+"""Figure 9 — update performance for varying update granularities.
+
+Paper setup: on the e = 0.5 dataset, insert/modify/delete 1000 tuples
+total, split into statements of 5..1000 tuples; compare no constraint,
+per-statement materialization refresh, and both PatchIndex designs.
+
+Expected shape: per-statement materialization refresh is dramatically
+slower (especially at fine granularities); PatchIndex maintenance adds
+modest overhead that amortizes by ~50-tuple statements; delete is the
+cheapest PatchIndex path; the identifier design trails the bitmap
+design.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, time_fn, write_report
+from repro.core import (
+    NearlySortedColumn,
+    NearlyUniqueColumn,
+    PatchIndexManager,
+)
+from repro.materialization import MaterializedView, SortKey
+from repro.workloads import generate_dataset, insert_batch, modify_batch
+
+NUM_ROWS = 60_000
+TOTAL_TUPLES = 1_000
+GRANULARITIES = [5, 10, 50, 100, 500, 1000]
+EXCEPTION_RATE = 0.5
+
+
+def fresh_dataset(constraint: str, name: str):
+    return generate_dataset(NUM_ROWS, EXCEPTION_RATE, constraint, seed=6, name=name)
+
+
+def attach(constraint: str, ds, system: str):
+    """Wire the system under test to the dataset; returns a detach fn."""
+    if system == "reference":
+        return lambda: None
+    if system == "materialization":
+        if constraint == "nuc":
+            mv = MaterializedView(ds.table, "v")  # immediate refresh
+            return mv.detach
+        sk = SortKey(ds.table, "v")  # immediate re-sort
+        return sk.detach
+    mgr = PatchIndexManager()
+    cons = NearlyUniqueColumn() if constraint == "nuc" else NearlySortedColumn()
+    design = "bitmap" if system == "pi_bitmap" else "identifier"
+    mgr.create(ds.table, "v", cons, design=design)
+    return lambda: mgr.drop(ds.table.name, "v")
+
+
+def run_update(constraint: str, op: str, system: str, granularity: int) -> float:
+    ds = fresh_dataset(constraint, f"{constraint}_{op}_{system}_{granularity}")
+    detach = attach(constraint, ds, system)
+    statements = TOTAL_TUPLES // granularity
+
+    def work():
+        if op == "insert":
+            for s in range(statements):
+                batch = insert_batch(ds, granularity, collide_fraction=0.2, seed=s)
+                ds.table.insert(batch)
+        elif op == "modify":
+            for s in range(statements):
+                batch = modify_batch(ds, granularity, seed=s)
+                ds.table.modify(batch["rowids"], {"v": batch["v"]})
+        else:  # delete
+            rng = np.random.default_rng(123)
+            for s in range(statements):
+                n = ds.table.num_rows
+                rowids = np.sort(rng.choice(n, size=granularity, replace=False))
+                ds.table.delete(rowids)
+
+    elapsed = time_fn(work, repeats=1, warmup=0)
+    detach()
+    return elapsed
+
+
+SYSTEMS = ["reference", "materialization", "pi_bitmap", "pi_identifier"]
+
+
+def run_sweep(constraint: str, op: str):
+    rows = []
+    for g in GRANULARITIES:
+        row = [g]
+        for system in SYSTEMS:
+            row.append(run_update(constraint, op, system, g))
+        rows.append(row)
+    return rows
+
+
+def test_fig9_update_performance(benchmark):
+    headers = ["granularity"] + [f"{s} [s]" for s in SYSTEMS]
+    sections = []
+    results = {}
+    for constraint in ("nuc", "nsc"):
+        for op in ("insert", "modify", "delete"):
+            rows = run_sweep(constraint, op)
+            results[(constraint, op)] = rows
+            sections.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Figure 9 ({constraint.upper()} {op}: {TOTAL_TUPLES} tuples "
+                        f"total, n={NUM_ROWS}, e={EXCEPTION_RATE})"
+                    ),
+                )
+            )
+    write_report("fig9_updates", "\n\n".join(sections))
+
+    for constraint in ("nuc", "nsc"):
+        finest = results[(constraint, "insert")][0]
+        ref, mat, pib = finest[1], finest[2], finest[3]
+        # materialization refresh per statement is the most expensive path
+        assert mat > ref, f"{constraint}: per-statement refresh must cost more than no constraint"
+        assert mat > pib, f"{constraint}: PatchIndex must beat per-statement refresh"
+        # deletes are the cheapest PatchIndex maintenance path
+        del_row = results[(constraint, "delete")][0]
+        assert del_row[3] < mat
+
+    benchmark.pedantic(
+        lambda: run_update("nsc", "delete", "pi_bitmap", 500), rounds=1, iterations=1
+    )

@@ -1,0 +1,96 @@
+"""Table 2 — bitmap operator runtimes per element, plain vs sharded.
+
+Paper setup: 100 M-element bitmap, shard size 2^14; sequential set/get,
+sequential single deletes and bulk delete, reported as latency per
+element.  We run at 2^23 bits.
+
+Expected shape: sharded bit access ≈ 2× plain access; sharded single
+delete orders of magnitude faster than plain delete (which shifts the
+whole bitmap); bulk delete another order faster than single deletes.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.bitmap import PlainBitmap, ShardedBitmap
+
+BITS = 1 << 23
+SHARD_BITS = 1 << 14
+ACCESS_OPS = 20_000
+DELETE_OPS = 300
+BULK_OPS = 40_000
+
+
+def per_element(fn, n_ops: int) -> float:
+    start = time.perf_counter()
+    fn()
+    return (time.perf_counter() - start) / n_ops * 1e9  # ns/element
+
+
+def test_tab2_bitmap_operator_latencies(benchmark):
+    rng = np.random.default_rng(0)
+    positions = rng.integers(0, BITS // 2, ACCESS_OPS).astype(np.int64)
+
+    plain = PlainBitmap(BITS)
+    sharded = ShardedBitmap(BITS, shard_bits=SHARD_BITS)
+
+    def seq_set(bm):
+        def run():
+            for p in positions:
+                bm.set(int(p))
+        return run
+
+    def seq_get(bm):
+        def run():
+            for p in positions:
+                bm.get(int(p))
+        return run
+
+    set_plain = per_element(seq_set(plain), ACCESS_OPS)
+    set_sharded = per_element(seq_set(sharded), ACCESS_OPS)
+    get_plain = per_element(seq_get(plain), ACCESS_OPS)
+    get_sharded = per_element(seq_get(sharded), ACCESS_OPS)
+
+    del_positions = np.sort(rng.choice(BITS // 2, DELETE_OPS, replace=False))[::-1]
+
+    def seq_delete(bm):
+        def run():
+            for p in del_positions:
+                bm.delete(int(p))
+        return run
+
+    del_plain = per_element(seq_delete(PlainBitmap(BITS)), DELETE_OPS)
+    del_sharded = per_element(seq_delete(ShardedBitmap(BITS, shard_bits=SHARD_BITS)), DELETE_OPS)
+
+    bulk_positions = np.sort(rng.choice(BITS, BULK_OPS, replace=False))
+    bulk_bm = ShardedBitmap(BITS, shard_bits=SHARD_BITS)
+    start = time.perf_counter()
+    bulk_bm.bulk_delete(bulk_positions)
+    bulk_sharded = (time.perf_counter() - start) / BULK_OPS * 1e9
+
+    rows = [
+        ["Sequential Set", f"{set_plain:.1f} ns", f"{set_sharded:.1f} ns"],
+        ["Sequential Get", f"{get_plain:.1f} ns", f"{get_sharded:.1f} ns"],
+        ["Seq. Delete", f"{del_plain:.1f} ns", f"{del_sharded:.1f} ns"],
+        ["Seq. Bulk Delete", "-", f"{bulk_sharded:.1f} ns"],
+    ]
+    report = format_table(
+        ["operation (per element)", "Bitmap", "Sharded bitmap"],
+        rows,
+        title=f"Table 2: operator latencies, {BITS}-bit bitmap, shard 2^14",
+    )
+    write_report("tab2_bitmap_ops", report)
+
+    # shape assertions (the paper's qualitative statements)
+    assert set_sharded < set_plain * 8, "sharded set should stay within a small factor"
+    assert get_sharded < get_plain * 8
+    assert del_sharded < del_plain / 10, "sharded delete should be orders faster"
+    assert bulk_sharded < del_sharded, "bulk delete amortizes further"
+
+    benchmark.pedantic(
+        lambda: ShardedBitmap(BITS, shard_bits=SHARD_BITS).bulk_delete(bulk_positions[:5000]),
+        rounds=1,
+        iterations=1,
+    )

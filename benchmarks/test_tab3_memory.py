@@ -1,0 +1,101 @@
+"""Table 3 — memory consumption of PatchIndex designs vs materialized view.
+
+Paper formulas for t = 1e9 tuples:
+  PI_bitmap      = t/8 · 1.0039 bytes           (constant in e)
+  PI_identifier  = e · t · 8 bytes              (linear in e)
+  Mat. view NUC  = (1e5 + (1-e) · t) · 8 bytes  (all unique values)
+
+We print the formula table at the paper's scale and validate the
+formulas against structures measured at laptop scale.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.core import (
+    BITMAP_DESIGN,
+    IDENTIFIER_DESIGN,
+    NearlyUniqueColumn,
+    PatchIndex,
+)
+from repro.materialization import MaterializedView
+from repro.workloads import generate_dataset
+
+PAPER_T = 10**9
+MEASURED_T = 2_000_000
+
+
+def formula_bitmap(t: int) -> float:
+    return t / 8 * 1.0039
+
+
+def formula_identifier(t: int, e: float) -> float:
+    return e * t * 8
+
+
+def formula_matview(t: int, e: float, pool: int = 10**5) -> float:
+    return (pool + (1 - e) * t) * 8
+
+
+def gib(x: float) -> str:
+    if x >= 1 << 30:
+        return f"{x / (1 << 30):.2f} GB"
+    return f"{x / (1 << 20):.2f} MB"
+
+
+def test_tab3_memory_consumption(benchmark):
+    rows = []
+    for e in (0.01, 0.2):
+        rows.append(
+            [
+                f"e = {e}",
+                gib(formula_bitmap(PAPER_T)),
+                gib(formula_identifier(PAPER_T, e)),
+                gib(formula_matview(PAPER_T, e)),
+            ]
+        )
+    formula_report = format_table(
+        ["", "PI_bitmap", "PI_identifier", "Mat. view (NUC)"],
+        rows,
+        title=f"Table 3 (formulas at t = {PAPER_T:.0e} tuples)",
+    )
+
+    measured_rows = []
+    for e in (0.01, 0.2):
+        ds = generate_dataset(MEASURED_T, e, "nuc", seed=1)
+        bm = PatchIndex(ds.table, "v", NearlyUniqueColumn(), design=BITMAP_DESIGN)
+        ids = PatchIndex(ds.table, "v", NearlyUniqueColumn(), design=IDENTIFIER_DESIGN)
+        mv = MaterializedView(ds.table, "v", refresh_policy="manual")
+        measured_rows.append(
+            [f"e = {e}", bm.memory_bytes(), ids.memory_bytes(), mv.memory_bytes()]
+        )
+        # the bitmap bytes track the formula scaled down to MEASURED_T
+        assert bm.memory_bytes() <= formula_bitmap(MEASURED_T) * 1.2
+        assert ids.memory_bytes() <= formula_identifier(MEASURED_T, e) * 1.2 + 64
+        mv.detach()
+    measured_report = format_table(
+        ["", "PI_bitmap [B]", "PI_identifier [B]", "Mat. view [B]"],
+        measured_rows,
+        title=f"Table 3 (measured at t = {MEASURED_T} tuples)",
+    )
+    write_report("tab3_memory", formula_report + "\n\n" + measured_report)
+
+    # shape: identifier beats bitmap below the 1/64 crossover, loses above
+    assert formula_identifier(PAPER_T, 0.01) < formula_bitmap(PAPER_T)
+    assert formula_identifier(PAPER_T, 0.2) > formula_bitmap(PAPER_T)
+    # the materialized view dwarfs both for realistic e
+    for e in (0.01, 0.2):
+        assert formula_matview(PAPER_T, e) > 10 * formula_bitmap(PAPER_T)
+    # bitmap memory is constant in e (measured)
+    assert measured_rows[0][1] == measured_rows[1][1]
+
+    benchmark.pedantic(
+        lambda: PatchIndex(
+            generate_dataset(100_000, 0.1, "nuc").table,
+            "v",
+            NearlyUniqueColumn(),
+            design=BITMAP_DESIGN,
+        ).memory_bytes(),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,18 @@
+"""PatchIndex: updatable materialization of approximate constraints.
+
+Python reproduction of Kläbe, Sattler & Baumann, *Updatable
+Materialization of Approximate Constraints* (ICDE 2021,
+arXiv:2102.06557).  See README.md for a tour, DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Typical entry points::
+
+    from repro.storage import Table, Catalog
+    from repro.core import PatchIndexManager, NearlyUniqueColumn
+    from repro.plan import Optimizer, execute_plan
+    from repro.sql import SQLSession
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,69 @@
+"""Qualitative comparison scoring (paper Figure 11).
+
+The paper summarizes the evaluation as a radar chart scoring each
+approach 1–4 on Creation effort (C), Memory/storage overhead (M),
+Performance impact (P) and Updatability (U), higher = better.  We
+derive the same scores from *measured* quantities: approaches are
+ranked per dimension and the rank mapped to a score, ties sharing the
+better score.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["rank_scores", "qualitative_scores", "DIMENSIONS"]
+
+DIMENSIONS = ("C", "M", "P", "U")
+
+
+def rank_scores(
+    values: Mapping[str, float], lower_is_better: bool = True
+) -> Dict[str, int]:
+    """Map measured values to scores ``1..len(values)`` (higher better).
+
+    The best measurement gets the highest score; values within 10 % of
+    each other tie and share the better score.
+    """
+    items = sorted(values.items(), key=lambda kv: kv[1], reverse=not lower_is_better)
+    scores: Dict[str, int] = {}
+    n = len(items)
+    score = n
+    prev = None
+    for i, (name, value) in enumerate(items):
+        if prev is not None and not _close(prev, value):
+            score = n - i
+        scores[name] = score
+        prev = value
+    return scores
+
+
+def _close(a: float, b: float) -> bool:
+    hi = max(abs(a), abs(b))
+    if hi == 0:
+        return True
+    return abs(a - b) / hi <= 0.10
+
+
+def qualitative_scores(
+    creation: Mapping[str, float],
+    memory: Mapping[str, float],
+    query: Mapping[str, float],
+    update: Mapping[str, float],
+) -> Dict[str, Dict[str, int]]:
+    """Figure 11 scores per approach from measured quantities.
+
+    All four inputs are lower-is-better measurements (seconds / bytes).
+    Returns ``{approach: {C, M, P, U}}``.
+    """
+    per_dim = {
+        "C": rank_scores(creation),
+        "M": rank_scores(memory),
+        "P": rank_scores(query),
+        "U": rank_scores(update),
+    }
+    approaches = set(creation) | set(memory) | set(query) | set(update)
+    return {
+        name: {dim: per_dim[dim].get(name, 0) for dim in DIMENSIONS}
+        for name in approaches
+    }

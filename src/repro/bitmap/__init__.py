@@ -1,0 +1,20 @@
+"""Bitmap data structures underlying the PatchIndex (paper §4).
+
+Two designs are provided:
+
+* :class:`~repro.bitmap.plain.PlainBitmap` — the ordinary bitmap baseline.
+  Single-bit access is cheap, but deleting a bit shifts the *entire*
+  remainder of the bitmap.
+* :class:`~repro.bitmap.sharded.ShardedBitmap` — the paper's contribution.
+  The bitmap is virtually divided into shards, each with a start value
+  (a fence pointer).  Deletes shift only within one shard, so they are
+  cheap; bulk deletes are parallelized over shards and use a vectorized
+  cross-element shift kernel (the numpy stand-in for the paper's AVX2
+  intrinsics, Listing 1).
+"""
+
+from repro.bitmap.plain import PlainBitmap
+from repro.bitmap.sharded import ShardedBitmap
+from repro.bitmap.parallel import ParallelBulkDeleter
+
+__all__ = ["PlainBitmap", "ShardedBitmap", "ParallelBulkDeleter"]

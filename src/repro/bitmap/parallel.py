@@ -1,0 +1,90 @@
+"""Parallel bulk delete over sharded bitmaps (paper §4.2.3, Figure 4).
+
+Shard-local shifts are independent by construction — a delete never moves
+bits across a shard boundary — so the per-shard work of a bulk delete can
+run concurrently.  The paper spawns a thread per shard that contains
+positions to delete; we use a shared :class:`~concurrent.futures.
+ThreadPoolExecutor` (numpy kernels release the GIL for the heavy slices,
+and a pool avoids per-operation thread-start cost).
+
+The final start-value adjustment stays sequential: it is a single array
+traversal with a running sum and is performed by the caller
+(:meth:`repro.bitmap.sharded.ShardedBitmap.bulk_delete`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bitmap.sharded import ShardedBitmap
+
+__all__ = ["ParallelBulkDeleter"]
+
+ShiftKernel = Callable[[np.ndarray, int, int], None]
+
+
+class ParallelBulkDeleter:
+    """Executes the shard-local phase of a bulk delete on a thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker threads; defaults to the CPU count.
+    min_shards_for_parallelism:
+        Below this many affected shards the pool overhead outweighs any
+        benefit (the left side of the paper's Figure 6 U-curve), so the
+        work runs inline.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        min_shards_for_parallelism: int = 2,
+    ) -> None:
+        self._max_workers = max_workers or (os.cpu_count() or 4)
+        self._min_shards = min_shards_for_parallelism
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def run(
+        self,
+        bitmap: "ShardedBitmap",
+        tasks: Sequence[Tuple[int, np.ndarray]],
+        kernel: ShiftKernel,
+    ) -> None:
+        """Run ``(shard, descending offsets)`` tasks, possibly in parallel."""
+        if len(tasks) < self._min_shards:
+            for shard, offs_desc in tasks:
+                bitmap._delete_within_shard(shard, offs_desc, kernel)
+            return
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(bitmap._delete_within_shard, shard, offs_desc, kernel)
+            for shard, offs_desc in tasks
+        ]
+        done, _ = wait(futures)
+        for fut in done:
+            exc = fut.exception()
+            if exc is not None:
+                raise exc
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBulkDeleter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,175 @@
+"""Update-query handling for PatchIndexes (paper §5, Table 1).
+
+The handlers keep the invariant *"the index holds all exceptions to the
+constraint"* under inserts, modifies and deletes while avoiding both a
+full index recomputation and a full table scan:
+
+* **NUC insert/modify** — run the insert-handling join of Figure 5: the
+  touched tuples (scanned from the statement's positional deltas) are
+  joined against the current table image; dynamic range propagation
+  restricts the table scan to blocks overlapping the touched values.
+  The rowIDs of *both* join sides of every collision are merged into
+  the patches, so duplicated values never appear in the non-patch flow.
+* **NSC insert** — extend the materialized sorted run with a longest
+  sorted subsequence over the inserted values beyond the run's boundary
+  value; the rest of the inserted tuples become patches.
+* **NSC modify** — all modified tuples become patches (they may break
+  the sorted run).
+* **delete** (both) — drop the tracking information; the sharded
+  bitmap's bulk delete (or identifier decrementing) realigns rowIDs.
+
+Constraints may thereby *become* approximate over time even when they
+were perfect at definition time, instead of aborting the update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.constraints import (
+    NearlyConstantColumn,
+    NearlySortedColumn,
+    NearlyUniqueColumn,
+)
+from repro.core.patchindex import PatchIndex
+from repro.engine.batch import ROWID, Relation
+from repro.engine.operators import HashJoin, RelationSource, Scan
+from repro.storage.pdt import UpdateEvent
+
+__all__ = ["apply_update", "nuc_collision_patches"]
+
+
+def apply_update(index: PatchIndex, table, event: UpdateEvent,
+                 dynamic_range_propagation: bool = True) -> None:
+    """Maintain ``index`` for one update statement on its table."""
+    if event.kind == "delete":
+        index.remove_rows(event.rowids)
+        return
+    constraint = index.constraint
+    if isinstance(constraint, NearlyUniqueColumn):
+        _handle_nuc(index, table, event, dynamic_range_propagation)
+    elif isinstance(constraint, NearlySortedColumn):
+        _handle_nsc(index, table, event)
+    elif isinstance(constraint, NearlyConstantColumn):
+        _handle_ncc(index, table, event)
+    else:
+        raise TypeError(
+            f"no update handler for constraint {type(constraint).__name__}; "
+            "extend repro.core.updates (§5.5)"
+        )
+
+
+# ----------------------------------------------------------------------
+# nearly unique columns
+# ----------------------------------------------------------------------
+def _handle_nuc(index: PatchIndex, table, event: UpdateEvent,
+                drp: bool) -> None:
+    if index.column not in event.values:
+        if event.kind == "insert":
+            raise KeyError(f"insert event lacks column {index.column!r}")
+        return  # modify that does not touch the indexed column
+    touched_values = np.asarray(event.values[index.column])
+    if event.kind == "insert":
+        index.extend_rows(len(event.rowids))
+    if len(touched_values) == 0:
+        return
+    matched_rowids = _collision_join(index, table, touched_values, drp)
+    new_patches = nuc_collision_patches(
+        table.column(index.column), matched_rowids, index.patch_mask()
+    )
+    index.add_patches(new_patches)
+
+
+def _collision_join(index: PatchIndex, table, touched_values: np.ndarray,
+                    drp: bool) -> np.ndarray:
+    """Figure 5: join touched tuples with the table, project rowIDs.
+
+    The build side is the (small) set of touched values; with dynamic
+    range propagation their [min, max] range prunes the table scan via
+    minmax summaries before it runs.
+    """
+    build = RelationSource(
+        Relation({index.column: np.unique(touched_values)}), name="delta"
+    )
+    probe = Scan(table, columns=[index.column], with_rowids=True)
+    join = HashJoin(
+        build,
+        probe,
+        index.column,
+        index.column,
+        build_side="left",
+        dynamic_range_propagation=drp,
+    )
+    matched = join.execute()
+    return np.unique(matched.column(ROWID))
+
+
+def nuc_collision_patches(
+    column_values: np.ndarray,
+    candidate_rowids: np.ndarray,
+    patch_mask: np.ndarray,
+) -> np.ndarray:
+    """New patches among candidate rowIDs sharing a column value.
+
+    Every candidate whose value group has two or more members becomes a
+    patch (both join sides of Figure 5); candidates that matched only
+    themselves stay non-patches.  A value group containing an existing
+    patch is by construction non-unique, so its other members also
+    become patches.  Existing patches never leave the patch set.
+    """
+    if len(candidate_rowids) == 0:
+        return np.zeros(0, dtype=np.int64)
+    values = column_values[candidate_rowids]
+    is_patch = patch_mask[candidate_rowids]
+    _, codes, counts = np.unique(values, return_inverse=True, return_counts=True)
+    colliding = counts[codes] > 1
+    new_patch_sel = colliding & ~is_patch
+    return np.sort(candidate_rowids[new_patch_sel]).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# nearly sorted columns
+# ----------------------------------------------------------------------
+def _handle_nsc(index: PatchIndex, table, event: UpdateEvent) -> None:
+    constraint: NearlySortedColumn = index.constraint  # type: ignore[assignment]
+    if event.kind == "insert":
+        inserted = np.asarray(event.values[index.column])
+        index.extend_rows(len(event.rowids))
+        keep_local, new_last = constraint.extend_sorted_run(
+            inserted, index.last_sorted_value
+        )
+        keep_mask = np.zeros(len(inserted), dtype=bool)
+        keep_mask[keep_local] = True
+        index.add_patches(np.asarray(event.rowids)[~keep_mask])
+        index.last_sorted_value = new_last
+        return
+    if event.kind == "modify":
+        if index.column not in event.values:
+            return  # indexed column untouched: sorted run unaffected
+        index.add_patches(event.rowids)
+
+
+# ----------------------------------------------------------------------
+# nearly constant columns (§5.5 / §7 extension)
+# ----------------------------------------------------------------------
+def _handle_ncc(index: PatchIndex, table, event: UpdateEvent) -> None:
+    """Tuples whose value differs from the constant become patches.
+
+    A purely local decision per touched tuple — no join, no table scan;
+    the cheapest maintenance path of the three constraints.
+    """
+    constraint: NearlyConstantColumn = index.constraint  # type: ignore[assignment]
+    if index.column not in event.values:
+        if event.kind == "insert":
+            raise KeyError(f"insert event lacks column {index.column!r}")
+        return
+    touched = np.asarray(event.values[index.column])
+    rowids = np.asarray(event.rowids)
+    if event.kind == "insert":
+        index.extend_rows(len(rowids))
+        if index.constant_value is None and len(touched):
+            # first tuples define the constant
+            _, constant = constraint.initial_patches_with_state(touched)
+            index.constant_value = constant
+    bad_local = constraint.violating(touched, index.constant_value)
+    index.add_patches(rowids[bad_local])

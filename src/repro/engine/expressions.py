@@ -1,0 +1,215 @@
+"""Scalar/predicate expressions evaluated vectorized over relations."""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.engine.batch import Relation
+
+__all__ = ["Expression", "ColumnRef", "Literal", "BinaryExpr", "UnaryExpr", "CaseExpr", "col", "lit", "where"]
+
+
+class Expression:
+    """Base class; subclasses implement :meth:`evaluate`."""
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        """Evaluate to a numpy array aligned with ``rel``'s rows."""
+        raise NotImplementedError
+
+    # -- comparison operators ------------------------------------------
+    def __eq__(self, other: object):  # type: ignore[override]
+        return BinaryExpr(operator.eq, "=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return BinaryExpr(operator.ne, "<>", self, _wrap(other))
+
+    def __lt__(self, other: object):
+        return BinaryExpr(operator.lt, "<", self, _wrap(other))
+
+    def __le__(self, other: object):
+        return BinaryExpr(operator.le, "<=", self, _wrap(other))
+
+    def __gt__(self, other: object):
+        return BinaryExpr(operator.gt, ">", self, _wrap(other))
+
+    def __ge__(self, other: object):
+        return BinaryExpr(operator.ge, ">=", self, _wrap(other))
+
+    # -- boolean connectives -------------------------------------------
+    def __and__(self, other: object):
+        return BinaryExpr(np.logical_and, "AND", self, _wrap(other))
+
+    def __or__(self, other: object):
+        return BinaryExpr(np.logical_or, "OR", self, _wrap(other))
+
+    def __invert__(self):
+        return UnaryExpr(np.logical_not, "NOT", self)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: object):
+        return BinaryExpr(operator.add, "+", self, _wrap(other))
+
+    def __sub__(self, other: object):
+        return BinaryExpr(operator.sub, "-", self, _wrap(other))
+
+    def __mul__(self, other: object):
+        return BinaryExpr(operator.mul, "*", self, _wrap(other))
+
+    def __truediv__(self, other: object):
+        return BinaryExpr(operator.truediv, "/", self, _wrap(other))
+
+    def __floordiv__(self, other: object):
+        return BinaryExpr(operator.floordiv, "//", self, _wrap(other))
+
+    def __mod__(self, other: object):
+        return BinaryExpr(operator.mod, "%", self, _wrap(other))
+
+    def __rmul__(self, other: object):
+        return BinaryExpr(operator.mul, "*", _wrap(other), self)
+
+    def __rsub__(self, other: object):
+        return BinaryExpr(operator.sub, "-", _wrap(other), self)
+
+    def __radd__(self, other: object):
+        return BinaryExpr(operator.add, "+", _wrap(other), self)
+
+    def isin(self, values) -> "Expression":
+        """Membership test against a fixed value set."""
+        return IsInExpr(self, values)
+
+    def __hash__(self) -> int:  # __eq__ is overloaded, keep hashability
+        return id(self)
+
+
+class ColumnRef(Expression):
+    """Reference to a column of the input relation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return rel.column(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant, broadcast over the input rows."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        if isinstance(self.value, str):
+            out = np.empty(rel.num_rows, dtype=object)
+            out[:] = self.value
+            return out
+        return np.full(rel.num_rows, self.value)
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class BinaryExpr(Expression):
+    """Vectorized binary operation."""
+
+    def __init__(self, fn: Callable, symbol: str, left: Expression, right: Expression) -> None:
+        self.fn = fn
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return self.fn(self.left.evaluate(rel), self.right.evaluate(rel))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryExpr(Expression):
+    """Vectorized unary operation."""
+
+    def __init__(self, fn: Callable, symbol: str, child: Expression) -> None:
+        self.fn = fn
+        self.symbol = symbol
+        self.child = child
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return self.fn(self.child.evaluate(rel))
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.child!r})"
+
+
+class IsInExpr(Expression):
+    """Membership test (``x IN (v1, v2, ...)``)."""
+
+    def __init__(self, child: Expression, values) -> None:
+        self.child = child
+        self.values = list(values)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        vals = self.child.evaluate(rel)
+        return np.isin(vals, self.values)
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} IN {self.values!r})"
+
+
+class CaseExpr(Expression):
+    """Two-branch conditional (``CASE WHEN cond THEN a ELSE b END``)."""
+
+    def __init__(self, cond: Expression, then: Expression, otherwise: Expression) -> None:
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return np.where(
+            self.cond.evaluate(rel),
+            self.then.evaluate(rel),
+            self.otherwise.evaluate(rel),
+        )
+
+    def __repr__(self) -> str:
+        return f"where({self.cond!r}, {self.then!r}, {self.otherwise!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand literal."""
+    return Literal(value)
+
+
+def where(cond: Expression, then: Union[Expression, object], otherwise: Union[Expression, object]) -> CaseExpr:
+    """Shorthand conditional expression."""
+    return CaseExpr(cond, _wrap(then), _wrap(otherwise))
+
+
+def _wrap(value: object) -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+def expression_columns(expr: Expression) -> set:
+    """Names of all columns an expression references."""
+    out: set = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ColumnRef):
+            out.add(node.name)
+        elif isinstance(node, BinaryExpr):
+            stack.extend([node.left, node.right])
+        elif isinstance(node, (UnaryExpr, IsInExpr)):
+            stack.append(node.child)
+        elif isinstance(node, CaseExpr):
+            stack.extend([node.cond, node.then, node.otherwise])
+    return out

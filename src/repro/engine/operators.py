@@ -1,0 +1,727 @@
+"""Physical query operators (column-at-a-time, numpy-vectorized).
+
+The operator set mirrors what the paper's optimizations manipulate
+(§3.3): scans, selections, projections, hash and merge joins, sort,
+distinct/grouping aggregation, union, order-preserving merge and the
+Reuse operators for intermediate result caching.  The PatchIndex scan is
+a :class:`Scan` topped by a :class:`PatchSelect` with mode
+``exclude_patches`` or ``use_patches``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union as TUnion
+
+import numpy as np
+
+from repro.engine.batch import ROWID, Relation
+from repro.engine.expressions import Expression, expression_columns
+
+__all__ = [
+    "Operator",
+    "RelationSource",
+    "Scan",
+    "PatchSelect",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "MergeJoin",
+    "Sort",
+    "Distinct",
+    "GroupAggregate",
+    "Union",
+    "MergeUnion",
+    "ReuseSlot",
+    "ReuseCache",
+    "ReuseLoad",
+    "Limit",
+    "find_scans",
+    "factorize_rows",
+]
+
+EXCLUDE_PATCHES = "exclude_patches"
+USE_PATCHES = "use_patches"
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def execute(self) -> Relation:
+        """Produce the operator's full result relation."""
+        raise NotImplementedError
+
+    def children(self) -> List["Operator"]:
+        """Child operators, for tree traversal."""
+        return []
+
+    def label(self) -> str:
+        """Short description used by explain output."""
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable operator-tree rendering."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class RelationSource(Operator):
+    """Wraps an already-materialized relation (delta scans, tests)."""
+
+    def __init__(self, relation: Relation, name: str = "source") -> None:
+        self._relation = relation
+        self._name = name
+
+    def execute(self) -> Relation:
+        return self._relation
+
+    def label(self) -> str:
+        return f"Source({self._name}, rows={self._relation.num_rows})"
+
+
+class Scan(Operator):
+    """Table scan with optional rowIDs, predicate and minmax pruning.
+
+    ``push_range`` implements range propagation (§5): a pushed
+    ``(column, lo, hi)`` range prunes whole blocks via the table's minmax
+    summaries before any tuple is touched, and is how the dynamic variant
+    restricts the probe side of the insert-handling join (Figure 5).
+    """
+
+    def __init__(
+        self,
+        table,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Expression] = None,
+        with_rowids: bool = False,
+        use_minmax: bool = True,
+    ) -> None:
+        self.table = table
+        self.columns = list(columns) if columns is not None else list(table.schema.names)
+        self.predicate = predicate
+        self.with_rowids = with_rowids
+        self.use_minmax = use_minmax
+        self._ranges: List[Tuple[str, object, object]] = []
+
+    def push_range(self, column: str, lo, hi) -> None:
+        """Restrict the scan to blocks possibly containing [lo, hi]."""
+        self._ranges.append((column, lo, hi))
+
+    def _scan_one(self, table, rowid_offset: int) -> Relation:
+        n = table.num_rows
+        mask: Optional[np.ndarray] = None
+        if self.use_minmax and self._ranges and n:
+            mask = np.ones(n, dtype=bool)
+            for column, lo, hi in self._ranges:
+                mask &= table.minmax(column).row_mask_in_range(lo, hi)
+        needed = list(self.columns)
+        extra = []
+        if self.predicate is not None:
+            for name in expression_columns(self.predicate):
+                if name not in needed and name in table.schema:
+                    extra.append(name)
+        cols = {c: table.column(c) for c in needed + extra}
+        if self.with_rowids:
+            cols[ROWID] = np.arange(rowid_offset, rowid_offset + n, dtype=np.int64)
+        rel = Relation(cols)
+        if mask is not None:
+            rel = rel.filter(mask)
+        if self.predicate is not None:
+            if rel.num_rows:
+                rel = rel.filter(np.asarray(self.predicate.evaluate(rel), dtype=bool))
+            else:
+                rel = rel.filter(np.zeros(0, dtype=bool))
+        if extra:
+            rel = rel.drop(extra)
+        return rel
+
+    def execute(self) -> Relation:
+        partitions = getattr(self.table, "partitions", None)
+        if partitions is None:
+            return self._scan_one(self.table, 0)
+        offsets = self.table.partition_offsets()
+        pieces = [
+            self._scan_one(part, int(offsets[i]))
+            for i, part in enumerate(partitions)
+        ]
+        return Relation.concat(pieces)
+
+    def label(self) -> str:
+        extra = ""
+        if self._ranges:
+            extra = f", ranges={self._ranges}"
+        if self.predicate is not None:
+            extra += f", pred={self.predicate!r}"
+        return f"Scan({self.table.name}{extra})"
+
+
+class PatchSelect(Operator):
+    """Selection operator merging PatchIndex information on-the-fly (§3.3).
+
+    ``mask_fn`` returns the current patch bitmap as a boolean array
+    aligned with the table's rowIDs; ``exclude_patches`` keeps non-patch
+    tuples, ``use_patches`` keeps the exceptions.  The decision is purely
+    rowID-based, independent of the data types in the flow (§3.5).
+    """
+
+    def __init__(self, child: Operator, mask_fn: Callable[[], np.ndarray], mode: str) -> None:
+        if mode not in (EXCLUDE_PATCHES, USE_PATCHES):
+            raise ValueError(f"unknown selection mode {mode!r}")
+        self.child = child
+        self.mask_fn = mask_fn
+        self.mode = mode
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        rowids = rel.column(ROWID)
+        patch_mask = np.asarray(self.mask_fn(), dtype=bool)
+        flags = patch_mask[rowids]
+        keep = flags if self.mode == USE_PATCHES else ~flags
+        return rel.filter(keep)
+
+    def label(self) -> str:
+        return f"PatchSelect({self.mode})"
+
+
+class Filter(Operator):
+    """Predicate selection."""
+
+    def __init__(self, child: Operator, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        if rel.num_rows == 0:
+            return rel
+        return rel.filter(np.asarray(self.predicate.evaluate(rel), dtype=bool))
+
+    def label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class Project(Operator):
+    """Column projection / computation.
+
+    ``outputs`` maps output names to input column names (str) or
+    expressions.
+    """
+
+    def __init__(self, child: Operator, outputs: Dict[str, TUnion[str, Expression]]) -> None:
+        self.child = child
+        self.outputs = dict(outputs)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        cols: Dict[str, np.ndarray] = {}
+        for name, spec in self.outputs.items():
+            if isinstance(spec, str):
+                cols[name] = rel.column(spec)
+            else:
+                cols[name] = np.asarray(spec.evaluate(rel))
+        return Relation(cols)
+
+    def label(self) -> str:
+        return f"Project({list(self.outputs)})"
+
+
+def _hash_expand_matches(
+    build_keys: np.ndarray, probe_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(build_idx, probe_idx) via a hash table build + per-tuple probe.
+
+    This is a genuine hash join: the build side goes into a hash table
+    and *every* probe tuple performs a random-access lookup, which is
+    the per-tuple cost a merge join over sorted inputs avoids (§3.3).
+    """
+    table: dict = {}
+    for pos, key in enumerate(build_keys.tolist()):
+        table.setdefault(key, []).append(pos)
+    build_idx: List[int] = []
+    probe_idx: List[int] = []
+    for i, key in enumerate(probe_keys.tolist()):
+        bucket = table.get(key)
+        if bucket is None:
+            continue
+        for b in bucket:
+            build_idx.append(b)
+            probe_idx.append(i)
+    return (
+        np.asarray(build_idx, dtype=np.int64),
+        np.asarray(probe_idx, dtype=np.int64),
+    )
+
+
+def _expand_matches(
+    build_keys: np.ndarray, probe_keys: np.ndarray, build_sorted: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return aligned (build_idx, probe_idx) for an inner equi-join."""
+    if build_sorted:
+        order = None
+        sorted_keys = build_keys
+    else:
+        order = np.argsort(build_keys, kind="stable")
+        sorted_keys = build_keys[order]
+    lo = np.searchsorted(sorted_keys, probe_keys, side="left")
+    hi = np.searchsorted(sorted_keys, probe_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    probe_idx = np.repeat(np.arange(len(probe_keys), dtype=np.int64), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    build_pos = starts + within
+    build_idx = build_pos if order is None else order[build_pos]
+    return build_idx, probe_idx
+
+
+def _join_output(
+    build_rel: Relation,
+    probe_rel: Relation,
+    build_idx: np.ndarray,
+    probe_idx: np.ndarray,
+    build_key: str,
+    probe_key: str,
+) -> Relation:
+    cols: Dict[str, np.ndarray] = {}
+    for name, arr in build_rel.columns().items():
+        cols[name] = arr[build_idx]
+    for name, arr in probe_rel.columns().items():
+        if name == probe_key and probe_key == build_key:
+            continue  # identical key values, keep one copy
+        if name in cols:
+            raise ValueError(f"join column collision on {name!r}; project first")
+        cols[name] = arr[probe_idx]
+    return Relation(cols)
+
+
+class HashJoin(Operator):
+    """Inner equi-join; builds on one side and probes the other.
+
+    ``build_side='auto'`` picks the smaller input as the build side,
+    which is the paper's optimization of building the hash table on the
+    lower-cardinality side (typically the patches, §3.3).  With
+    ``dynamic_range_propagation`` the key range observed during the build
+    phase is pushed into every :class:`Scan` of the probe subtree before
+    it executes, pruning blocks via minmax summaries (§5.1).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_key: str,
+        right_key: str,
+        build_side: str = "auto",
+        dynamic_range_propagation: bool = False,
+    ) -> None:
+        if build_side not in ("auto", "left", "right"):
+            raise ValueError("build_side must be 'auto', 'left' or 'right'")
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.build_side = build_side
+        self.dynamic_range_propagation = dynamic_range_propagation
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def _resolve_sides(self) -> Tuple[Operator, Operator, str, str]:
+        if self.build_side == "left":
+            return self.left, self.right, self.left_key, self.right_key
+        if self.build_side == "right":
+            return self.right, self.left, self.right_key, self.left_key
+        return None, None, None, None  # type: ignore[return-value]
+
+    def execute(self) -> Relation:
+        if self.build_side == "auto":
+            # the paper's heuristic: build on the lower-cardinality side
+            left_rel = self.left.execute()
+            right_rel = self.right.execute()
+            if left_rel.num_rows <= right_rel.num_rows:
+                build_rel, probe_rel = left_rel, right_rel
+                build_key, probe_key = self.left_key, self.right_key
+            else:
+                build_rel, probe_rel = right_rel, left_rel
+                build_key, probe_key = self.right_key, self.left_key
+        else:
+            build_op, probe_op, build_key, probe_key = self._resolve_sides()
+            build_rel = build_op.execute()
+            if self.dynamic_range_propagation and build_rel.num_rows:
+                keys = build_rel.column(build_key)
+                lo, hi = keys.min(), keys.max()
+                for scan in find_scans(probe_op):
+                    if probe_key in scan.columns:
+                        scan.push_range(probe_key, lo, hi)
+            probe_rel = probe_op.execute()
+        build_idx, probe_idx = _hash_expand_matches(
+            build_rel.column(build_key), probe_rel.column(probe_key)
+        )
+        return _join_output(build_rel, probe_rel, build_idx, probe_idx, build_key, probe_key)
+
+    def label(self) -> str:
+        drp = ", DRP" if self.dynamic_range_propagation else ""
+        return f"HashJoin({self.left_key}={self.right_key}, build={self.build_side}{drp})"
+
+
+class MergeJoin(Operator):
+    """Inner equi-join over inputs already sorted on their keys (§3.3).
+
+    Skips the build-side sort a hash/sort join pays: matching ranges are
+    located with galloping binary search over the sorted key columns.
+    """
+
+    def __init__(self, left: Operator, right: Operator, left_key: str, right_key: str) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def children(self) -> List[Operator]:
+        return [self.left, self.right]
+
+    def execute(self) -> Relation:
+        left_rel = self.left.execute()
+        right_rel = self.right.execute()
+        build_idx, probe_idx = _expand_matches(
+            left_rel.column(self.left_key),
+            right_rel.column(self.right_key),
+            build_sorted=True,
+        )
+        return _join_output(
+            left_rel, right_rel, build_idx, probe_idx, self.left_key, self.right_key
+        )
+
+    def label(self) -> str:
+        return f"MergeJoin({self.left_key}={self.right_key})"
+
+
+class Sort(Operator):
+    """Multi-key sort.
+
+    Single-key sorts use introsort, like the QuickSort of the paper's
+    engine (§6.2.1): runtime does not collapse on pre-sorted input, so
+    the NSC optimization's value is what the index removes, not what
+    the sort implementation happens to detect.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        ascending: Optional[Sequence[bool]] = None,
+        stable: bool = False,
+    ) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.ascending = list(ascending) if ascending is not None else [True] * len(self.keys)
+        self.stable = stable
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        return rel.sort_by(self.keys, self.ascending, stable=self.stable)
+
+    def label(self) -> str:
+        return f"Sort({self.keys})"
+
+
+class Distinct(Operator):
+    """Duplicate elimination over the given (default: all) columns."""
+
+    def __init__(self, child: Operator, columns: Optional[Sequence[str]] = None) -> None:
+        self.child = child
+        self.columns = list(columns) if columns is not None else None
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        cols = self.columns if self.columns is not None else rel.column_names
+        if rel.num_rows == 0:
+            return rel.select(cols)
+        if len(cols) == 1:
+            uniq = np.unique(rel.column(cols[0]))
+            return Relation({cols[0]: uniq})
+        _, first_idx = factorize_rows([rel.column(c) for c in cols])
+        return rel.select(cols).take(first_idx)
+
+    def label(self) -> str:
+        return f"Distinct({self.columns or 'all'})"
+
+
+class GroupAggregate(Operator):
+    """Group-by aggregation.
+
+    ``aggregates`` maps output names to ``(func, input)`` where ``func``
+    is one of ``sum``, ``count``, ``min``, ``max``, ``avg`` and ``input``
+    is a column name or expression (ignored for ``count``).
+    """
+
+    _FUNCS = ("sum", "count", "min", "max", "avg")
+
+    def __init__(
+        self,
+        child: Operator,
+        group_keys: Sequence[str],
+        aggregates: Dict[str, Tuple[str, TUnion[str, Expression, None]]],
+    ) -> None:
+        for name, (func, _) in aggregates.items():
+            if func not in self._FUNCS:
+                raise ValueError(f"unknown aggregate {func!r} for {name!r}")
+        self.child = child
+        self.group_keys = list(group_keys)
+        self.aggregates = dict(aggregates)
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def _input_array(self, rel: Relation, spec) -> np.ndarray:
+        if isinstance(spec, str):
+            return rel.column(spec)
+        return np.asarray(spec.evaluate(rel))
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        if not self.group_keys:
+            return self._global_aggregate(rel)
+        codes, first_idx = factorize_rows([rel.column(k) for k in self.group_keys])
+        ngroups = len(first_idx)
+        out: Dict[str, np.ndarray] = {
+            k: rel.column(k)[first_idx] for k in self.group_keys
+        }
+        for name, (func, spec) in self.aggregates.items():
+            if func == "count":
+                out[name] = np.bincount(codes, minlength=ngroups).astype(np.int64)
+                continue
+            values = self._input_array(rel, spec)
+            if func == "sum" or func == "avg":
+                sums = np.bincount(codes, weights=values.astype(np.float64), minlength=ngroups)
+                if func == "sum":
+                    out[name] = sums if values.dtype.kind == "f" else _maybe_int(sums, values)
+                else:
+                    counts = np.bincount(codes, minlength=ngroups)
+                    out[name] = sums / np.maximum(counts, 1)
+            elif func == "min":
+                acc = _filled(ngroups, values, np.inf)
+                np.minimum.at(acc, codes, values)
+                out[name] = _maybe_int(acc, values)
+            elif func == "max":
+                acc = _filled(ngroups, values, -np.inf)
+                np.maximum.at(acc, codes, values)
+                out[name] = _maybe_int(acc, values)
+        return Relation(out)
+
+    def _global_aggregate(self, rel: Relation) -> Relation:
+        out: Dict[str, np.ndarray] = {}
+        n = rel.num_rows
+        for name, (func, spec) in self.aggregates.items():
+            if func == "count":
+                out[name] = np.array([n], dtype=np.int64)
+                continue
+            values = self._input_array(rel, spec)
+            if func == "sum":
+                out[name] = np.array([values.sum() if n else 0])
+            elif func == "avg":
+                out[name] = np.array([values.mean() if n else np.nan])
+            elif func == "min":
+                out[name] = np.array([values.min()]) if n else np.array([np.nan])
+            elif func == "max":
+                out[name] = np.array([values.max()]) if n else np.array([np.nan])
+        return Relation(out)
+
+    def label(self) -> str:
+        return f"Aggregate(by={self.group_keys}, aggs={list(self.aggregates)})"
+
+
+class Union(Operator):
+    """Bag union: concatenates children with identical column sets."""
+
+    def __init__(self, inputs: Sequence[Operator]) -> None:
+        self.inputs = list(inputs)
+
+    def children(self) -> List[Operator]:
+        return list(self.inputs)
+
+    def execute(self) -> Relation:
+        return Relation.concat([op.execute() for op in self.inputs])
+
+    def label(self) -> str:
+        return f"Union(n={len(self.inputs)})"
+
+
+class MergeUnion(Operator):
+    """Order-preserving union of sorted inputs (§3.3 sort optimization).
+
+    Combines the already-sorted non-patch flow with the sorted patch flow
+    using a linear merge instead of re-sorting the union.
+    """
+
+    def __init__(self, inputs: Sequence[Operator], key: str, ascending: bool = True) -> None:
+        self.inputs = list(inputs)
+        self.key = key
+        self.ascending = ascending
+
+    def children(self) -> List[Operator]:
+        return list(self.inputs)
+
+    def execute(self) -> Relation:
+        rels_all = [op.execute() for op in self.inputs]
+        rels = [r for r in rels_all if r.num_rows > 0]
+        if not rels:
+            return rels_all[0] if rels_all else Relation({})
+        merged = rels[0]
+        for other in rels[1:]:
+            merged = self._merge_two(merged, other)
+        return merged
+
+    def _merge_two(self, a: Relation, b: Relation) -> Relation:
+        ka = a.column(self.key)
+        kb = b.column(self.key)
+        if self.ascending:
+            ka_cmp, kb_cmp = ka, kb
+        else:
+            ka_cmp, kb_cmp = -_orderable(ka), -_orderable(kb)
+        pos_a = np.arange(len(ka), dtype=np.int64) + np.searchsorted(kb_cmp, ka_cmp, side="left")
+        pos_b = np.arange(len(kb), dtype=np.int64) + np.searchsorted(ka_cmp, kb_cmp, side="right")
+        total = len(ka) + len(kb)
+        out: Dict[str, np.ndarray] = {}
+        for name in a.column_names:
+            ca, cb = a.column(name), b.column(name)
+            merged = np.empty(total, dtype=ca.dtype if ca.dtype == cb.dtype else object)
+            merged[pos_a] = ca
+            merged[pos_b] = cb
+            out[name] = merged
+        return Relation(out)
+
+    def label(self) -> str:
+        return f"MergeUnion(key={self.key}, asc={self.ascending})"
+
+
+class ReuseSlot:
+    """Shared cell between a ReuseCache and its ReuseLoads."""
+
+    def __init__(self) -> None:
+        self.relation: Optional[Relation] = None
+        self.producer: Optional[Operator] = None
+
+    def materialize(self) -> Relation:
+        if self.relation is None:
+            if self.producer is None:
+                raise RuntimeError("ReuseSlot has no producer")
+            self.relation = self.producer.execute()
+        return self.relation
+
+
+class ReuseCache(Operator):
+    """Materializes its child's result into a slot and passes it on."""
+
+    def __init__(self, child: Operator, slot: ReuseSlot) -> None:
+        self.child = child
+        self.slot = slot
+        slot.producer = child
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        return self.slot.materialize()
+
+    def label(self) -> str:
+        return "ReuseCache"
+
+
+class ReuseLoad(Operator):
+    """Reads a relation previously materialized by a ReuseCache."""
+
+    def __init__(self, slot: ReuseSlot) -> None:
+        self.slot = slot
+
+    def execute(self) -> Relation:
+        return self.slot.materialize()
+
+    def label(self) -> str:
+        return "ReuseLoad"
+
+
+class Limit(Operator):
+    """First ``n`` rows of the child."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        return rel.take(np.arange(min(self.n, rel.num_rows)))
+
+    def label(self) -> str:
+        return f"Limit({self.n})"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def find_scans(op: Operator) -> List[Scan]:
+    """All Scan operators in a subtree (range-propagation targets)."""
+    found: List[Scan] = []
+    stack = [op]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Scan):
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+def factorize_rows(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense group codes for multi-column keys.
+
+    Returns ``(codes, first_idx)``: per-row group ids in ``[0, ngroups)``
+    and the index of the first row of each group (ordered by key).
+    """
+    if len(arrays) == 1:
+        _, first_idx, codes = np.unique(arrays[0], return_index=True, return_inverse=True)
+        return codes.astype(np.int64), first_idx.astype(np.int64)
+    combined = np.zeros(len(arrays[0]), dtype=np.int64)
+    for arr in arrays:
+        _, inv = np.unique(arr, return_inverse=True)
+        card = int(inv.max()) + 1 if len(inv) else 1
+        combined = combined * card + inv
+    _, first_idx, codes = np.unique(combined, return_index=True, return_inverse=True)
+    return codes.astype(np.int64), first_idx.astype(np.int64)
+
+
+def _orderable(arr: np.ndarray) -> np.ndarray:
+    if arr.dtype.kind in "iuf":
+        return arr
+    raise TypeError("descending MergeUnion requires numeric keys")
+
+
+def _filled(n: int, like: np.ndarray, fill: float) -> np.ndarray:
+    return np.full(n, fill, dtype=np.float64)
+
+
+def _maybe_int(acc: np.ndarray, values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind in "iu":
+        return acc.astype(np.int64)
+    return acc

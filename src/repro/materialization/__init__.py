@@ -1,0 +1,20 @@
+"""Specialized materialization baselines the paper compares against (§6).
+
+* :class:`~repro.materialization.matview.MaterializedView` — precomputed
+  distinct values of a column, refreshed by recomputation.
+* :class:`~repro.materialization.sortkey.SortKey` — a physically
+  reordered copy of the table, kept sorted by re-sorting on updates.
+* :class:`~repro.materialization.joinindex.JoinIndex` — a materialized
+  foreign-key join: the dimension-side rowID appended as an extra fact
+  column.
+
+Each tracks staleness against its base table version and supports
+``immediate`` (refresh inside every update statement — the fair
+comparison of Figure 9) or ``manual`` refresh policies.
+"""
+
+from repro.materialization.matview import MaterializedView
+from repro.materialization.sortkey import SortKey
+from repro.materialization.joinindex import JoinIndex
+
+__all__ = ["MaterializedView", "SortKey", "JoinIndex"]

@@ -1,0 +1,123 @@
+"""SortKey materialization (baseline of §6.2).
+
+A SortKey physically orders table data on one column, so a sort query
+degenerates to a scan (plus, for partitioned tables, a merge of the
+per-partition streams, §6.2).  Creating it is expensive — the data is
+physically reordered — and only one SortKey can exist per table, unlike
+PatchIndexes which leave the physical order untouched (§6.2.3).
+
+We materialize the ordered data as a separate sorted copy (our tables
+do not support in-place reordering), which is equivalent for both query
+and maintenance cost accounting.  Updates re-sort (recompute) the copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.storage.partition import PartitionedTable
+from repro.storage.table import Table
+
+__all__ = ["SortKey"]
+
+REFRESH_IMMEDIATE = "immediate"
+REFRESH_MANUAL = "manual"
+
+
+class SortKey:
+    """Physically sorted materialization of a table on one column."""
+
+    def __init__(
+        self,
+        table,
+        column: str,
+        ascending: bool = True,
+        refresh_policy: str = REFRESH_IMMEDIATE,
+        catalog=None,
+    ) -> None:
+        if refresh_policy not in (REFRESH_IMMEDIATE, REFRESH_MANUAL):
+            raise ValueError(f"unknown refresh policy {refresh_policy!r}")
+        self.source = table
+        self.column = column
+        self.ascending = ascending
+        self.refresh_policy = refresh_policy
+        self.refresh_count = 0
+        self.sorted_parts: List[Table] = self._compute()
+        self._source_version = _version_of(table)
+        self._hooked: List[Table] = []
+        if refresh_policy == REFRESH_IMMEDIATE:
+            for part in _base_tables(table):
+                part.add_update_hook(self._on_update)
+                self._hooked.append(part)
+        if catalog is not None:
+            catalog.add_structure("sortkey", table.name, column, self)
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> List[Table]:
+        parts = []
+        for i, base in enumerate(_base_tables(self.source)):
+            keys = base.column(self.column)
+            order = np.argsort(keys, kind="stable")
+            if not self.ascending:
+                order = order[::-1]
+            cols = {c: base.column(c)[order] for c in base.schema.names}
+            parts.append(Table(f"{base.name}__sorted_{self.column}", base.schema, cols))
+        return parts
+
+    def _on_update(self, table, event) -> None:
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Physically re-sort (the expensive maintenance path)."""
+        self.sorted_parts = self._compute()
+        self._source_version = _version_of(self.source)
+        self.refresh_count += 1
+
+    @property
+    def is_stale(self) -> bool:
+        return _version_of(self.source) != self._source_version
+
+    # ------------------------------------------------------------------
+    def scan_sorted(self, columns: Optional[List[str]] = None) -> dict:
+        """Globally ordered columns: per-partition scans plus a merge."""
+        columns = columns or self.source.schema.names
+        if len(self.sorted_parts) == 1:
+            part = self.sorted_parts[0]
+            return {c: part.column(c) for c in columns}
+        key_arrays = [p.column(self.column) for p in self.sorted_parts]
+        merged_key = np.concatenate(key_arrays)
+        order = np.argsort(merged_key, kind="stable")
+        if not self.ascending:
+            order = order[::-1]
+        out = {}
+        for c in columns:
+            cat = np.concatenate([p.column(c) for p in self.sorted_parts])
+            out[c] = cat[order]
+        return out
+
+    def memory_bytes(self) -> int:
+        """Extra storage: zero beyond the reordered data itself (§6.4)."""
+        return 0
+
+    def detach(self) -> None:
+        """Stop auto-refreshing."""
+        for part in self._hooked:
+            part.remove_update_hook(self._on_update)
+        self._hooked = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SortKey({self.source.name}.{self.column}, parts={len(self.sorted_parts)})"
+
+
+def _base_tables(table) -> List[Table]:
+    if isinstance(table, PartitionedTable):
+        return table.partitions
+    return [table]
+
+
+def _version_of(table) -> int:
+    if isinstance(table, PartitionedTable):
+        return sum(p.version for p in table.partitions)
+    return table.version

@@ -1,0 +1,56 @@
+"""Logical plans, the PatchIndex optimizer rules and plan execution.
+
+Queries are expressed as logical plan trees (:mod:`repro.plan.nodes`).
+The :class:`~repro.plan.optimizer.Optimizer` applies the PatchIndex
+rewrites of §3.3 — distinct, sort and join optimization via subtree
+cloning, plus zero-branch pruning (§6.3) — gated by the cost model of
+§3.5, and the :mod:`~repro.plan.executor` lowers logical plans onto the
+physical operators of :mod:`repro.engine`.
+"""
+
+from repro.plan.nodes import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    MergeCombineNode,
+    PatchScanNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionNode,
+)
+from repro.plan.stats import estimate_rows
+from repro.plan.cost import CostModel
+from repro.plan.rules import (
+    rewrite_distinct,
+    rewrite_join,
+    rewrite_sort,
+)
+from repro.plan.optimizer import Optimizer
+from repro.plan.executor import build_operator_tree, execute_plan
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "PatchScanNode",
+    "FilterNode",
+    "ProjectNode",
+    "JoinNode",
+    "DistinctNode",
+    "AggregateNode",
+    "SortNode",
+    "LimitNode",
+    "UnionNode",
+    "MergeCombineNode",
+    "estimate_rows",
+    "CostModel",
+    "rewrite_distinct",
+    "rewrite_sort",
+    "rewrite_join",
+    "Optimizer",
+    "build_operator_tree",
+    "execute_plan",
+]

@@ -1,0 +1,146 @@
+"""Lowering logical plans onto physical operators and running them."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.batch import ROWID, Relation
+from repro.engine import operators as ops
+from repro.plan import nodes
+from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionedTable
+
+__all__ = ["build_operator_tree", "execute_plan"]
+
+
+class _LoweringContext:
+    """Per-plan state: shared Reuse slots."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.slots: Dict[str, ops.ReuseSlot] = {}
+
+    def slot(self, slot_id: str) -> ops.ReuseSlot:
+        if slot_id not in self.slots:
+            self.slots[slot_id] = ops.ReuseSlot()
+        return self.slots[slot_id]
+
+
+def build_operator_tree(plan: nodes.PlanNode, catalog: Catalog) -> ops.Operator:
+    """Translate a logical plan into a physical operator tree."""
+    return _lower(plan, _LoweringContext(catalog))
+
+
+def execute_plan(plan: nodes.PlanNode, catalog: Catalog) -> Relation:
+    """Build and run a plan; internal rowID columns are stripped."""
+    result = build_operator_tree(plan, catalog).execute()
+    if ROWID in result:
+        result = result.drop([ROWID])
+    return result
+
+
+def _lower(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:
+    if isinstance(plan, nodes.ScanNode):
+        table = ctx.catalog.table(plan.table)
+        return ops.Scan(table, columns=plan.columns, predicate=plan.predicate)
+    if isinstance(plan, nodes.PatchScanNode):
+        return _lower_patch_scan(plan, ctx)
+    if isinstance(plan, nodes.FilterNode):
+        return ops.Filter(_lower(plan.child, ctx), plan.predicate)
+    if isinstance(plan, nodes.ProjectNode):
+        return ops.Project(_lower(plan.child, ctx), plan.outputs)
+    if isinstance(plan, nodes.JoinNode):
+        left = _lower(plan.left, ctx)
+        right = _lower(plan.right, ctx)
+        if plan.algorithm == "merge":
+            return ops.MergeJoin(left, right, plan.left_key, plan.right_key)
+        return ops.HashJoin(
+            left,
+            right,
+            plan.left_key,
+            plan.right_key,
+            build_side=plan.build_side,
+            dynamic_range_propagation=plan.dynamic_range_propagation,
+        )
+    if isinstance(plan, nodes.DistinctNode):
+        return ops.Distinct(_lower(plan.child, ctx), plan.columns)
+    if isinstance(plan, nodes.AggregateNode):
+        return ops.GroupAggregate(_lower(plan.child, ctx), plan.group_keys, plan.aggregates)
+    if isinstance(plan, nodes.SortNode):
+        return ops.Sort(_lower(plan.child, ctx), plan.keys, plan.ascending)
+    if isinstance(plan, nodes.LimitNode):
+        return ops.Limit(_lower(plan.child, ctx), plan.n)
+    if isinstance(plan, nodes.UnionNode):
+        return _ColumnAligningUnion([_lower(c, ctx) for c in plan.inputs])
+    if isinstance(plan, nodes.MergeCombineNode):
+        return _ColumnAligningMergeUnion(
+            [_lower(c, ctx) for c in plan.inputs], plan.key, plan.ascending
+        )
+    if isinstance(plan, nodes.ReuseCacheNode):
+        return ops.ReuseCache(_lower(plan.child, ctx), ctx.slot(plan.slot_id))
+    if isinstance(plan, nodes.ReuseLoadNode):
+        return ops.ReuseLoad(ctx.slot(plan.slot_id))
+    raise TypeError(f"cannot lower {type(plan).__name__}")
+
+
+def _lower_patch_scan(plan: nodes.PatchScanNode, ctx: _LoweringContext) -> ops.Operator:
+    table = ctx.catalog.table(plan.table)
+    index = plan.index
+    if (
+        plan.sorted_output
+        and plan.mode == "exclude_patches"
+        and isinstance(table, PartitionedTable)
+        and table.num_partitions > 1
+    ):
+        # NSC exclude flows are sorted *per partition*; merge them into a
+        # global order (the partition merge step of §6.2).
+        parts = []
+        for i, part in enumerate(table.partitions):
+            scan = ops.Scan(part, columns=plan.columns, predicate=plan.predicate,
+                            with_rowids=True)
+            part_index = index.parts[i].index
+            parts.append(ops.PatchSelect(scan, part_index.patch_mask, plan.mode))
+        key = index.column
+        return _ColumnAligningMergeUnion(parts, key, plan.sort_ascending)
+    scan = ops.Scan(table, columns=plan.columns, predicate=plan.predicate,
+                    with_rowids=True)
+    return ops.PatchSelect(scan, index.patch_mask, plan.mode)
+
+
+class _ColumnAligningUnion(ops.Union):
+    """Union tolerant of rowID-column mismatches between cloned flows."""
+
+    def execute(self) -> Relation:
+        rels = [op.execute() for op in self.inputs]
+        rels = _strip_unshared_rowid(rels)
+        return Relation.concat(rels)
+
+
+class _ColumnAligningMergeUnion(ops.MergeUnion):
+    """MergeUnion tolerant of rowID-column mismatches between flows."""
+
+    def execute(self) -> Relation:
+        rels_all = [op.execute() for op in self.inputs]
+        rels_all = _strip_unshared_rowid(rels_all)
+        rels = [r for r in rels_all if r.num_rows > 0]
+        if not rels:
+            return rels_all[0] if rels_all else Relation({})
+        merged = rels[0]
+        for other in rels[1:]:
+            merged = self._merge_two(merged, other)
+        return merged
+
+
+def _strip_unshared_rowid(rels) -> list:
+    """Drop the internal rowID column unless every input carries it.
+
+    RowIDs from different flows do not combine meaningfully anyway (they
+    are scan-local); keeping them only when universally present keeps
+    single-flow plans debuggable.
+    """
+    have = [ROWID in r for r in rels]
+    if all(have) or not any(have):
+        return list(rels)
+    return [r.drop([ROWID]) for r in rels]

@@ -1,0 +1,119 @@
+"""Rule-driving optimizer.
+
+Walks a logical plan bottom-up and applies the PatchIndex rewrites of
+§3.3 wherever their patterns match, consulting the cost model (§3.5)
+before accepting a transformation.  Zero-branch pruning (§6.3) and
+forced application (for reproducing the paper's forced-plan
+experiments) are switchable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.plan import nodes
+from repro.plan.cost import CostModel
+from repro.plan.rules import is_sorted_on, rewrite_distinct, rewrite_join, rewrite_sort
+from repro.storage.catalog import Catalog
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Applies PatchIndex rewrites over logical plans.
+
+    Parameters
+    ----------
+    catalog:
+        Table/structure registry.
+    index_manager:
+        A :class:`~repro.core.manager.PatchIndexManager` (or anything
+        with a ``get(table, column)`` returning index handles).
+    zero_branch_pruning:
+        Drop patch subtrees when the patch count is known to be zero.
+    use_cost_model:
+        Gate rewrites on estimated cost; when False, every matching
+        rewrite is applied (the paper's forced plans).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        index_manager,
+        zero_branch_pruning: bool = False,
+        use_cost_model: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.index_manager = index_manager
+        self.zero_branch_pruning = zero_branch_pruning
+        self.use_cost_model = use_cost_model
+        self.cost_model = CostModel(catalog)
+
+    # ------------------------------------------------------------------
+    def optimize(self, plan: nodes.PlanNode) -> nodes.PlanNode:
+        """Return the (possibly rewritten) plan."""
+        plan = self._optimize_children(plan)
+        return self._apply_rules(plan)
+
+    def _optimize_children(self, plan: nodes.PlanNode) -> nodes.PlanNode:
+        kids = plan.children()
+        if not kids:
+            return plan
+        new_kids = [self.optimize(c) for c in kids]
+        if all(a is b for a, b in zip(kids, new_kids)):
+            return plan
+        return _rebuild(plan, new_kids)
+
+    def _apply_rules(self, plan: nodes.PlanNode) -> nodes.PlanNode:
+        lookup = self.index_manager.get
+        cost_model = self.cost_model if self.use_cost_model else None
+        force = not self.use_cost_model
+        out: Optional[nodes.PlanNode]
+        out = rewrite_distinct(
+            plan, lookup, cost_model, self.zero_branch_pruning, force
+        )
+        if out is not None:
+            return out
+        out = rewrite_sort(plan, lookup, cost_model, self.zero_branch_pruning, force)
+        if out is not None:
+            return out
+        out = rewrite_join(
+            plan,
+            lookup,
+            lambda node, key: is_sorted_on(node, key, self.catalog),
+            cost_model,
+            self.zero_branch_pruning,
+            force,
+        )
+        if out is not None:
+            return out
+        return plan
+
+
+def _rebuild(plan: nodes.PlanNode, kids) -> nodes.PlanNode:
+    """Copy a node with new children (structural rebuild)."""
+    if isinstance(plan, nodes.FilterNode):
+        return nodes.FilterNode(kids[0], plan.predicate)
+    if isinstance(plan, nodes.ProjectNode):
+        return nodes.ProjectNode(kids[0], plan.outputs)
+    if isinstance(plan, nodes.JoinNode):
+        return nodes.JoinNode(
+            kids[0], kids[1], plan.left_key, plan.right_key,
+            algorithm=plan.algorithm, build_side=plan.build_side,
+            dynamic_range_propagation=plan.dynamic_range_propagation,
+        )
+    if isinstance(plan, nodes.DistinctNode):
+        return nodes.DistinctNode(kids[0], plan.columns)
+    if isinstance(plan, nodes.AggregateNode):
+        return nodes.AggregateNode(kids[0], plan.group_keys, plan.aggregates)
+    if isinstance(plan, nodes.SortNode):
+        return nodes.SortNode(kids[0], plan.keys, plan.ascending)
+    if isinstance(plan, nodes.LimitNode):
+        return nodes.LimitNode(kids[0], plan.n)
+    if isinstance(plan, nodes.UnionNode):
+        return nodes.UnionNode(kids)
+    if isinstance(plan, nodes.MergeCombineNode):
+        return nodes.MergeCombineNode(kids, plan.key, plan.ascending)
+    if isinstance(plan, nodes.ReuseCacheNode):
+        return nodes.ReuseCacheNode(kids[0], plan.slot_id)
+    raise TypeError(f"cannot rebuild {type(plan).__name__}")

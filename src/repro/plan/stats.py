@@ -1,0 +1,64 @@
+"""Cardinality estimation over logical plans.
+
+Estimates feed the cost model of §3.5.  Scans read exact table
+cardinalities from the catalog; PatchIndex scan estimates are *exact*
+because the number of patches is known at optimization time — the
+property the paper exploits for build-side selection and zero-branch
+pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.plan import nodes
+from repro.storage.catalog import Catalog
+
+__all__ = ["estimate_rows", "DEFAULT_FILTER_SELECTIVITY"]
+
+#: Heuristic selectivity for arbitrary predicates.
+DEFAULT_FILTER_SELECTIVITY = 0.33
+
+
+def estimate_rows(node: nodes.PlanNode, catalog: Catalog) -> float:
+    """Estimated output cardinality of a plan node."""
+    if isinstance(node, nodes.ScanNode):
+        rows = float(catalog.table(node.table).num_rows)
+        if node.predicate is not None:
+            rows *= DEFAULT_FILTER_SELECTIVITY
+        return rows
+    if isinstance(node, nodes.PatchScanNode):
+        patches = float(node.index.num_patches)
+        total = float(node.index.num_rows)
+        rows = patches if node.mode == "use_patches" else total - patches
+        if node.predicate is not None:
+            rows *= DEFAULT_FILTER_SELECTIVITY
+        return rows
+    if isinstance(node, nodes.FilterNode):
+        return DEFAULT_FILTER_SELECTIVITY * estimate_rows(node.child, catalog)
+    if isinstance(node, (nodes.ProjectNode, nodes.SortNode)):
+        return estimate_rows(node.children()[0], catalog)
+    if isinstance(node, nodes.JoinNode):
+        left = estimate_rows(node.left, catalog)
+        right = estimate_rows(node.right, catalog)
+        # FK-join assumption: output bounded by the larger input.
+        return max(left, right) * _join_selectivity(node)
+    if isinstance(node, nodes.DistinctNode):
+        return 0.5 * estimate_rows(node.child, catalog)
+    if isinstance(node, nodes.AggregateNode):
+        child = estimate_rows(node.child, catalog)
+        return child if not node.group_keys else max(1.0, 0.1 * child)
+    if isinstance(node, nodes.LimitNode):
+        return min(float(node.n), estimate_rows(node.child, catalog))
+    if isinstance(node, (nodes.UnionNode, nodes.MergeCombineNode)):
+        return sum(estimate_rows(c, catalog) for c in node.children())
+    if isinstance(node, nodes.ReuseCacheNode):
+        return estimate_rows(node.child, catalog)
+    if isinstance(node, nodes.ReuseLoadNode):
+        return node.hint_rows
+    raise TypeError(f"no estimator for {type(node).__name__}")
+
+
+def _join_selectivity(node: nodes.JoinNode) -> float:
+    # Equi-joins on keys: roughly one match per FK tuple.
+    return 1.0

@@ -1,0 +1,14 @@
+"""A small SQL front-end over the plan layer.
+
+Supports the query shapes the paper's evaluation uses — SELECT
+[DISTINCT] with WHERE / JOIN ... ON / GROUP BY / ORDER BY / LIMIT — and
+the update statements (INSERT / UPDATE / DELETE) that drive PatchIndex
+maintenance.  Parsed queries lower onto :mod:`repro.plan` logical plans,
+so every PatchIndex rewrite applies transparently to SQL text.
+"""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_statement
+from repro.sql.session import SQLSession
+
+__all__ = ["tokenize", "Token", "TokenKind", "parse_statement", "SQLSession"]

@@ -1,0 +1,102 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List
+
+__all__ = ["TokenKind", "Token", "tokenize", "SQLSyntaxError"]
+
+
+class SQLSyntaxError(ValueError):
+    """Raised for malformed SQL text."""
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+    "JOIN", "INNER", "ON", "AND", "OR", "NOT", "IN", "AS", "ASC", "DESC",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "SUM", "COUNT",
+    "MIN", "MAX", "AVG", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]
+PUNCT = ["(", ")", ",", ".", ";"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, kind: TokenKind, value: str | None = None) -> bool:
+        if self.kind is not kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split SQL text into tokens (keywords upper-cased)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenKind.STRING, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,452 @@
+"""Recursive-descent SQL parser lowering onto logical plans.
+
+Column names must be unique across joined tables (the TPC-H style this
+repo uses throughout); qualified references like ``l.l_orderkey`` are
+accepted and resolved by their column part.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.expressions import Expression, col, lit, where
+from repro.plan import nodes
+from repro.sql.lexer import SQLSyntaxError, Token, TokenKind, tokenize
+
+__all__ = [
+    "parse_statement",
+    "SelectStatement",
+    "InsertStatement",
+    "UpdateStatement",
+    "DeleteStatement",
+]
+
+AGG_FUNCS = {"SUM": "sum", "COUNT": "count", "MIN": "min", "MAX": "max", "AVG": "avg"}
+
+
+@dataclasses.dataclass
+class SelectStatement:
+    """A parsed SELECT, lowered to a logical plan."""
+
+    plan: nodes.PlanNode
+    tables: List[str]
+
+
+@dataclasses.dataclass
+class InsertStatement:
+    table: str
+    columns: List[str]
+    rows: List[List[object]]
+
+
+@dataclasses.dataclass
+class UpdateStatement:
+    table: str
+    assignments: Dict[str, Expression]
+    predicate: Optional[Expression]
+
+
+@dataclasses.dataclass
+class DeleteStatement:
+    table: str
+    predicate: Optional[Expression]
+
+
+Statement = Union[SelectStatement, InsertStatement, UpdateStatement, DeleteStatement]
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(sql)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def _accept(self, kind: TokenKind, value: Optional[str] = None) -> Optional[Token]:
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: Optional[str] = None) -> Token:
+        tok = self._accept(kind, value)
+        if tok is None:
+            actual = self._peek()
+            raise SQLSyntaxError(
+                f"expected {value or kind.value}, found {actual.value!r} "
+                f"at position {actual.position}"
+            )
+        return tok
+
+    def _keyword(self, word: str) -> bool:
+        return self._accept(TokenKind.KEYWORD, word) is not None
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse(self) -> Statement:
+        if self._peek().matches(TokenKind.KEYWORD, "SELECT"):
+            stmt = self._parse_select()
+        elif self._peek().matches(TokenKind.KEYWORD, "INSERT"):
+            stmt = self._parse_insert()
+        elif self._peek().matches(TokenKind.KEYWORD, "UPDATE"):
+            stmt = self._parse_update()
+        elif self._peek().matches(TokenKind.KEYWORD, "DELETE"):
+            stmt = self._parse_delete()
+        else:
+            raise SQLSyntaxError(f"unsupported statement start {self._peek().value!r}")
+        self._accept(TokenKind.PUNCT, ";")
+        self._expect(TokenKind.EOF)
+        return stmt
+
+    # -- SELECT ----------------------------------------------------------
+    def _parse_select(self) -> SelectStatement:
+        self._expect(TokenKind.KEYWORD, "SELECT")
+        distinct = self._keyword("DISTINCT")
+        items = self._parse_select_items()
+        self._expect(TokenKind.KEYWORD, "FROM")
+        plan, tables = self._parse_from()
+        if self._keyword("WHERE"):
+            predicate = self._parse_expr()
+            plan = self._push_predicate(plan, predicate)
+        group_keys: List[str] = []
+        if self._keyword("GROUP"):
+            self._expect(TokenKind.KEYWORD, "BY")
+            group_keys = self._parse_column_list()
+        plan = self._apply_projection(plan, items, distinct, group_keys)
+        if self._keyword("ORDER"):
+            self._expect(TokenKind.KEYWORD, "BY")
+            keys, ascending = self._parse_order_list()
+            plan = self._apply_order_by(plan, keys, ascending)
+        if self._keyword("LIMIT"):
+            tok = self._expect(TokenKind.NUMBER)
+            plan = nodes.LimitNode(plan, int(tok.value))
+        return SelectStatement(plan=plan, tables=tables)
+
+    def _parse_select_items(self) -> List[Tuple[str, object]]:
+        """List of (output name, spec) where spec is '*', an Expression,
+        or an aggregate tuple (func, input expr or None)."""
+        if self._accept(TokenKind.OPERATOR, "*"):
+            return [("*", "*")]
+        items: List[Tuple[str, object]] = []
+        while True:
+            spec: object
+            tok = self._peek()
+            if tok.kind is TokenKind.KEYWORD and tok.value in AGG_FUNCS:
+                self._advance()
+                self._expect(TokenKind.PUNCT, "(")
+                if self._accept(TokenKind.OPERATOR, "*"):
+                    inner: Optional[Expression] = None
+                else:
+                    inner = self._parse_expr()
+                self._expect(TokenKind.PUNCT, ")")
+                spec = (AGG_FUNCS[tok.value], inner)
+                default_name = tok.value.lower()
+            else:
+                expr = self._parse_expr()
+                spec = expr
+                default_name = expr.name if hasattr(expr, "name") else "expr"
+            if self._keyword("AS"):
+                name = self._expect(TokenKind.IDENT).value
+            else:
+                name = default_name
+            items.append((name, spec))
+            if not self._accept(TokenKind.PUNCT, ","):
+                return items
+
+    def _parse_from(self) -> Tuple[nodes.PlanNode, List[str]]:
+        table = self._expect(TokenKind.IDENT).value
+        self._maybe_alias()
+        plan: nodes.PlanNode = nodes.ScanNode(table)
+        tables = [table]
+        while True:
+            if self._keyword("INNER"):
+                self._expect(TokenKind.KEYWORD, "JOIN")
+            elif not self._keyword("JOIN"):
+                break
+            right = self._expect(TokenKind.IDENT).value
+            self._maybe_alias()
+            self._expect(TokenKind.KEYWORD, "ON")
+            left_key = self._parse_column_ref()
+            self._expect(TokenKind.OPERATOR, "=")
+            right_key = self._parse_column_ref()
+            plan = nodes.JoinNode(plan, nodes.ScanNode(right), left_key, right_key)
+            tables.append(right)
+        return plan, tables
+
+    def _maybe_alias(self) -> None:
+        # accept (and ignore) "table alias" and "table AS alias"
+        if self._keyword("AS"):
+            self._expect(TokenKind.IDENT)
+        elif self._peek().kind is TokenKind.IDENT:
+            nxt = self._tokens[self._pos + 1]
+            # a bare identifier followed by something that cannot start a
+            # clause is an alias
+            if nxt.kind in (TokenKind.KEYWORD, TokenKind.EOF) or nxt.matches(
+                TokenKind.PUNCT, ";"
+            ):
+                self._advance()
+
+    def _push_predicate(
+        self, plan: nodes.PlanNode, predicate: Expression
+    ) -> nodes.PlanNode:
+        if isinstance(plan, nodes.ScanNode) and plan.predicate is None:
+            return nodes.ScanNode(plan.table, plan.columns, predicate)
+        return nodes.FilterNode(plan, predicate)
+
+    def _apply_projection(
+        self,
+        plan: nodes.PlanNode,
+        items: List[Tuple[str, object]],
+        distinct: bool,
+        group_keys: List[str],
+    ) -> nodes.PlanNode:
+        has_aggs = any(isinstance(spec, tuple) for _, spec in items)
+        if group_keys or has_aggs:
+            aggs = {
+                name: spec for name, spec in items if isinstance(spec, tuple)
+            }
+            for name, spec in items:
+                if not isinstance(spec, tuple):
+                    if not hasattr(spec, "name") or spec.name not in group_keys:
+                        raise SQLSyntaxError(
+                            f"non-aggregate select item {name!r} must be a "
+                            "GROUP BY column"
+                        )
+            return nodes.AggregateNode(plan, group_keys, aggs)
+        if items == [("*", "*")]:
+            if distinct:
+                return nodes.DistinctNode(plan)
+            return plan
+        simple = all(hasattr(spec, "name") and name == spec.name for name, spec in items)
+        columns = [name for name, _ in items]
+        if distinct and simple:
+            # keep the scan subtree bare so the distinct rewrite matches
+            return nodes.DistinctNode(plan, columns)
+        outputs: Dict[str, object] = {}
+        for name, spec in items:
+            outputs[name] = spec.name if hasattr(spec, "name") else spec
+        projected = nodes.ProjectNode(plan, outputs)
+        if distinct:
+            return nodes.DistinctNode(projected, columns)
+        return projected
+
+    def _apply_order_by(
+        self, plan: nodes.PlanNode, keys: List[str], ascending: List[bool]
+    ) -> nodes.PlanNode:
+        # SQL permits ordering by columns the projection drops; sort
+        # beneath the projection in that case.
+        if isinstance(plan, nodes.ProjectNode) and any(
+            k not in plan.outputs for k in keys
+        ):
+            return nodes.ProjectNode(
+                nodes.SortNode(plan.child, keys, ascending), plan.outputs
+            )
+        return nodes.SortNode(plan, keys, ascending)
+
+    def _parse_column_list(self) -> List[str]:
+        cols = [self._parse_column_ref()]
+        while self._accept(TokenKind.PUNCT, ","):
+            cols.append(self._parse_column_ref())
+        return cols
+
+    def _parse_order_list(self) -> Tuple[List[str], List[bool]]:
+        keys: List[str] = []
+        ascending: List[bool] = []
+        while True:
+            keys.append(self._parse_column_ref())
+            if self._keyword("DESC"):
+                ascending.append(False)
+            else:
+                self._keyword("ASC")
+                ascending.append(True)
+            if not self._accept(TokenKind.PUNCT, ","):
+                return keys, ascending
+
+    def _parse_column_ref(self) -> str:
+        name = self._expect(TokenKind.IDENT).value
+        if self._accept(TokenKind.PUNCT, "."):
+            name = self._expect(TokenKind.IDENT).value
+        return name
+
+    # -- INSERT ----------------------------------------------------------
+    def _parse_insert(self) -> InsertStatement:
+        self._expect(TokenKind.KEYWORD, "INSERT")
+        self._expect(TokenKind.KEYWORD, "INTO")
+        table = self._expect(TokenKind.IDENT).value
+        self._expect(TokenKind.PUNCT, "(")
+        columns = [self._expect(TokenKind.IDENT).value]
+        while self._accept(TokenKind.PUNCT, ","):
+            columns.append(self._expect(TokenKind.IDENT).value)
+        self._expect(TokenKind.PUNCT, ")")
+        self._expect(TokenKind.KEYWORD, "VALUES")
+        rows: List[List[object]] = []
+        while True:
+            self._expect(TokenKind.PUNCT, "(")
+            row = [self._parse_literal()]
+            while self._accept(TokenKind.PUNCT, ","):
+                row.append(self._parse_literal())
+            self._expect(TokenKind.PUNCT, ")")
+            if len(row) != len(columns):
+                raise SQLSyntaxError(
+                    f"VALUES row has {len(row)} items, expected {len(columns)}"
+                )
+            rows.append(row)
+            if not self._accept(TokenKind.PUNCT, ","):
+                return InsertStatement(table, columns, rows)
+
+    def _parse_literal(self) -> object:
+        negative = self._accept(TokenKind.OPERATOR, "-") is not None
+        tok = self._advance()
+        if tok.kind is TokenKind.NUMBER:
+            value: object = float(tok.value) if "." in tok.value else int(tok.value)
+            return -value if negative else value
+        if tok.kind is TokenKind.STRING and not negative:
+            return tok.value
+        raise SQLSyntaxError(f"expected literal, found {tok.value!r}")
+
+    # -- UPDATE ----------------------------------------------------------
+    def _parse_update(self) -> UpdateStatement:
+        self._expect(TokenKind.KEYWORD, "UPDATE")
+        table = self._expect(TokenKind.IDENT).value
+        self._expect(TokenKind.KEYWORD, "SET")
+        assignments: Dict[str, Expression] = {}
+        while True:
+            column = self._expect(TokenKind.IDENT).value
+            self._expect(TokenKind.OPERATOR, "=")
+            assignments[column] = self._parse_expr()
+            if not self._accept(TokenKind.PUNCT, ","):
+                break
+        predicate = self._parse_expr() if self._keyword("WHERE") else None
+        return UpdateStatement(table, assignments, predicate)
+
+    # -- DELETE ----------------------------------------------------------
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect(TokenKind.KEYWORD, "DELETE")
+        self._expect(TokenKind.KEYWORD, "FROM")
+        table = self._expect(TokenKind.IDENT).value
+        predicate = self._parse_expr() if self._keyword("WHERE") else None
+        return DeleteStatement(table, predicate)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        expr = self._parse_and()
+        while self._keyword("OR"):
+            expr = expr | self._parse_and()
+        return expr
+
+    def _parse_and(self) -> Expression:
+        expr = self._parse_not()
+        while self._keyword("AND"):
+            expr = expr & self._parse_not()
+        return expr
+
+    def _parse_not(self) -> Expression:
+        if self._keyword("NOT"):
+            return ~self._parse_not()
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        expr = self._parse_additive()
+        tok = self._peek()
+        if tok.kind is TokenKind.OPERATOR and tok.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._parse_additive()
+            ops = {
+                "=": lambda a, b: a == b,
+                "<>": lambda a, b: a != b,
+                "!=": lambda a, b: a != b,
+                "<": lambda a, b: a < b,
+                "<=": lambda a, b: a <= b,
+                ">": lambda a, b: a > b,
+                ">=": lambda a, b: a >= b,
+            }
+            return ops[tok.value](expr, right)
+        if tok.matches(TokenKind.KEYWORD, "IN"):
+            self._advance()
+            self._expect(TokenKind.PUNCT, "(")
+            values = [self._parse_literal()]
+            while self._accept(TokenKind.PUNCT, ","):
+                values.append(self._parse_literal())
+            self._expect(TokenKind.PUNCT, ")")
+            return expr.isin(values)
+        if tok.matches(TokenKind.KEYWORD, "BETWEEN"):
+            self._advance()
+            lo = self._parse_additive()
+            self._expect(TokenKind.KEYWORD, "AND")
+            hi = self._parse_additive()
+            return (expr >= lo) & (expr <= hi)
+        return expr
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while True:
+            if self._accept(TokenKind.OPERATOR, "+"):
+                expr = expr + self._parse_multiplicative()
+            elif self._accept(TokenKind.OPERATOR, "-"):
+                expr = expr - self._parse_multiplicative()
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_unary()
+        while True:
+            if self._accept(TokenKind.OPERATOR, "*"):
+                expr = expr * self._parse_unary()
+            elif self._accept(TokenKind.OPERATOR, "/"):
+                expr = expr / self._parse_unary()
+            elif self._accept(TokenKind.OPERATOR, "%"):
+                expr = expr % self._parse_unary()
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expression:
+        if self._accept(TokenKind.OPERATOR, "-"):
+            return lit(0) - self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        tok = self._peek()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            return lit(float(tok.value) if "." in tok.value else int(tok.value))
+        if tok.kind is TokenKind.STRING:
+            self._advance()
+            return lit(tok.value)
+        if tok.kind is TokenKind.IDENT:
+            return col(self._parse_column_ref())
+        if tok.matches(TokenKind.PUNCT, "("):
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenKind.PUNCT, ")")
+            return inner
+        if tok.matches(TokenKind.KEYWORD, "CASE"):
+            self._advance()
+            self._expect(TokenKind.KEYWORD, "WHEN")
+            cond = self._parse_expr()
+            self._expect(TokenKind.KEYWORD, "THEN")
+            then = self._parse_expr()
+            self._expect(TokenKind.KEYWORD, "ELSE")
+            otherwise = self._parse_expr()
+            self._expect(TokenKind.KEYWORD, "END")
+            return where(cond, then, otherwise)
+        raise SQLSyntaxError(f"unexpected token {tok.value!r} at {tok.position}")

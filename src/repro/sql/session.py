@@ -1,0 +1,131 @@
+"""SQL session: parse, optimize (PatchIndex rewrites) and execute."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.batch import Relation
+from repro.plan.executor import execute_plan
+from repro.plan.optimizer import Optimizer
+from repro.sql.parser import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    parse_statement,
+)
+from repro.storage.catalog import Catalog
+
+__all__ = ["SQLSession"]
+
+
+class SQLSession:
+    """Executes SQL against a catalog, with PatchIndex optimization.
+
+    Parameters
+    ----------
+    catalog:
+        Table registry.
+    index_manager:
+        Optional :class:`~repro.core.manager.PatchIndexManager`; when
+        given, SELECT plans run through the optimizer so the §3.3
+        rewrites fire on plain SQL text.
+    zero_branch_pruning / use_cost_model:
+        Forwarded to the optimizer.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        index_manager=None,
+        zero_branch_pruning: bool = False,
+        use_cost_model: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.optimizer: Optional[Optimizer] = None
+        if index_manager is not None:
+            self.optimizer = Optimizer(
+                catalog,
+                index_manager,
+                zero_branch_pruning=zero_branch_pruning,
+                use_cost_model=use_cost_model,
+            )
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Run one statement; returns a Relation (SELECT) or a row count."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, SelectStatement):
+            return self._run_select(stmt)
+        if isinstance(stmt, InsertStatement):
+            return self._run_insert(stmt)
+        if isinstance(stmt, UpdateStatement):
+            return self._run_update(stmt)
+        if isinstance(stmt, DeleteStatement):
+            return self._run_delete(stmt)
+        raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """The (optimized) logical plan for a SELECT."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, SelectStatement):
+            raise ValueError("EXPLAIN supports SELECT statements only")
+        plan = stmt.plan
+        if self.optimizer is not None:
+            plan = self.optimizer.optimize(plan)
+        return plan.explain()
+
+    # ------------------------------------------------------------------
+    def _run_select(self, stmt: SelectStatement) -> Relation:
+        plan = stmt.plan
+        if self.optimizer is not None:
+            plan = self.optimizer.optimize(plan)
+        return execute_plan(plan, self.catalog)
+
+    def _run_insert(self, stmt: InsertStatement) -> int:
+        table = self.catalog.table(stmt.table)
+        values = {}
+        for i, column in enumerate(stmt.columns):
+            field = table.schema.field(column)
+            raw = [row[i] for row in stmt.rows]
+            if field.type.numpy_dtype is object:
+                arr = np.empty(len(raw), dtype=object)
+                arr[:] = [str(v) for v in raw]
+            else:
+                arr = np.asarray(raw, dtype=field.type.numpy_dtype)
+            values[column] = arr
+        missing = set(table.schema.names) - set(stmt.columns)
+        if missing:
+            raise ValueError(f"INSERT must provide all columns; missing {sorted(missing)}")
+        table.insert(values)
+        return len(stmt.rows)
+
+    def _predicate_rowids(self, table, predicate) -> np.ndarray:
+        if predicate is None:
+            return table.rowids()
+        rel = Relation(table.columns())
+        mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def _run_update(self, stmt: UpdateStatement) -> int:
+        table = self.catalog.table(stmt.table)
+        rowids = self._predicate_rowids(table, stmt.predicate)
+        if len(rowids) == 0:
+            return 0
+        rel = Relation(table.columns()).take(rowids)
+        new_values = {
+            column: np.asarray(expr.evaluate(rel))
+            for column, expr in stmt.assignments.items()
+        }
+        table.modify(rowids, new_values)
+        return len(rowids)
+
+    def _run_delete(self, stmt: DeleteStatement) -> int:
+        table = self.catalog.table(stmt.table)
+        rowids = self._predicate_rowids(table, stmt.predicate)
+        if len(rowids) == 0:
+            return 0
+        table.delete(rowids)
+        return len(rowids)

@@ -1,0 +1,79 @@
+"""Snapshot views and shard-granular locking (paper §5.4).
+
+PatchIndexes integrate with a system's snapshot isolation: a
+:class:`Snapshot` captures a consistent image of a table at a version,
+unaffected by later updates.  Independently, the sharded bitmap enables
+finer-grained concurrency control: shards are independent, so a
+:class:`ShardLockManager` locks individual shards instead of the whole
+structure, and start-value adjustment uses only commutative decrements
+(concurrent decrements produce the same result in any order, §5.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Sequence
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["Snapshot", "ShardLockManager"]
+
+
+class Snapshot:
+    """A frozen, consistent image of a table's columns."""
+
+    def __init__(self, table: Table) -> None:
+        self.table_name = table.name
+        self.version = table.version
+        self.num_rows = table.num_rows
+        self._columns: Dict[str, np.ndarray] = {
+            name: table.column(name).copy() for name in table.schema.names
+        }
+
+    def column(self, name: str) -> np.ndarray:
+        """The snapshotted array for one column."""
+        return self._columns[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Snapshot({self.table_name!r}@v{self.version}, rows={self.num_rows})"
+
+
+class ShardLockManager:
+    """Per-shard locks for concurrent sharded-bitmap mutation.
+
+    Lock striping over shard ids: writers take only the locks of the
+    shards they touch, so updates to disjoint shards proceed in parallel.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._locks)
+
+    @contextmanager
+    def locked(self, shard: int) -> Iterator[None]:
+        """Hold the lock of a single shard."""
+        lock = self._locks[shard]
+        with lock:
+            yield
+
+    @contextmanager
+    def locked_many(self, shards: Sequence[int]) -> Iterator[None]:
+        """Hold several shard locks; acquired in sorted order (no deadlock)."""
+        ordered = sorted(set(int(s) for s in shards))
+        acquired = []
+        try:
+            for s in ordered:
+                self._locks[s].acquire()
+                acquired.append(s)
+            yield
+        finally:
+            for s in reversed(acquired):
+                self._locks[s].release()

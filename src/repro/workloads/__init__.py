@@ -1,0 +1,22 @@
+"""Workload and dataset generators used by the evaluation (§6)."""
+
+from repro.workloads.generator import (
+    GeneratedDataset,
+    generate_dataset,
+    insert_batch,
+    modify_batch,
+)
+from repro.workloads.publicbi import PUBLICBI_SPECS, generate_publicbi_dataset
+from repro.workloads.tpch import TPCHData, generate_tpch, perturb_order
+
+__all__ = [
+    "GeneratedDataset",
+    "generate_dataset",
+    "insert_batch",
+    "modify_batch",
+    "PUBLICBI_SPECS",
+    "generate_publicbi_dataset",
+    "TPCHData",
+    "generate_tpch",
+    "perturb_order",
+]

@@ -1,0 +1,291 @@
+"""TPC-H Q3, Q7 and Q12 as logical plans (paper §6.3).
+
+All three queries contain the lineitem ⨝ orders join the paper targets.
+The plans are built so the PatchIndex join rewrite's side conditions
+hold: orders is stored (and registered) sorted on ``o_orderkey``, and
+wherever orders passes through an upstream join it is placed on the
+probe side of a hash join, which preserves its order (§3.3).
+
+Each builder also has a JoinIndex variant executing the same query over
+the materialized join (the paper's comparison baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.engine import Relation, col, lit, where
+from repro.engine.operators import GroupAggregate, Limit, RelationSource, Sort
+from repro.materialization.joinindex import JoinIndex
+from repro.plan import nodes
+
+__all__ = [
+    "Q3_DATE",
+    "q3_plan",
+    "q7_plan",
+    "q12_plan",
+    "q3_joinindex",
+    "q7_joinindex",
+    "q12_joinindex",
+]
+
+Q3_DATE = 19950315
+Q7_SHIP_LO, Q7_SHIP_HI = 19950101, 19961231
+Q12_RECEIPT_LO, Q12_RECEIPT_HI = 19940101, 19950101
+Q12_MODES = ["MAIL", "SHIP"]
+HIGH_PRIORITIES = ["1-URGENT", "2-HIGH"]
+Q7_NATIONS = ["FRANCE", "GERMANY"]
+
+
+# ----------------------------------------------------------------------
+# Q3 — shipping priority
+# ----------------------------------------------------------------------
+def q3_plan() -> nodes.PlanNode:
+    """Revenue of undelivered orders of BUILDING customers."""
+    cust = nodes.ScanNode(
+        "customer",
+        ["c_custkey", "c_mktsegment"],
+        predicate=col("c_mktsegment") == lit("BUILDING"),
+    )
+    ords = nodes.ScanNode(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        predicate=col("o_orderdate") < Q3_DATE,
+    )
+    # customer is the build side: orders' o_orderkey order is preserved
+    x_side = nodes.JoinNode(cust, ords, "c_custkey", "o_custkey", build_side="left")
+    line = nodes.ScanNode(
+        "lineitem",
+        ["l_orderkey", "l_extendedprice", "l_discount"],
+        predicate=col("l_shipdate") > Q3_DATE,
+    )
+    core = nodes.JoinNode(x_side, line, "o_orderkey", "l_orderkey")
+    agg = nodes.AggregateNode(
+        core,
+        ["l_orderkey", "o_orderdate", "o_shippriority"],
+        {"revenue": ("sum", col("l_extendedprice") * (lit(1.0) - col("l_discount")))},
+    )
+    return nodes.LimitNode(
+        nodes.SortNode(agg, ["revenue", "o_orderdate"], [False, True]), 10
+    )
+
+
+# ----------------------------------------------------------------------
+# Q7 — volume shipping
+# ----------------------------------------------------------------------
+def q7_plan() -> nodes.PlanNode:
+    """Trade volume between FRANCE and GERMANY by year."""
+    supp_nation = nodes.ProjectNode(
+        nodes.FilterNode(
+            nodes.ScanNode("nation"), col("n_name").isin(Q7_NATIONS)
+        ),
+        {"supp_nationkey": "n_nationkey", "supp_nation": "n_name"},
+    )
+    suppliers = nodes.JoinNode(
+        supp_nation, nodes.ScanNode("supplier"), "supp_nationkey", "s_nationkey",
+        build_side="left",
+    )
+    cust_nation = nodes.ProjectNode(
+        nodes.FilterNode(
+            nodes.ScanNode("nation"), col("n_name").isin(Q7_NATIONS)
+        ),
+        {"cust_nationkey": "n_nationkey", "cust_nation": "n_name"},
+    )
+    customers = nodes.JoinNode(
+        cust_nation, nodes.ScanNode("customer"), "cust_nationkey", "c_nationkey",
+        build_side="left",
+    )
+    # orders on the probe side keeps o_orderkey order for the core join
+    x_side = nodes.JoinNode(
+        customers,
+        nodes.ScanNode("orders", ["o_orderkey", "o_custkey"]),
+        "c_custkey",
+        "o_custkey",
+        build_side="left",
+    )
+    line = nodes.ScanNode(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        predicate=(col("l_shipdate") >= Q7_SHIP_LO) & (col("l_shipdate") <= Q7_SHIP_HI),
+    )
+    core = nodes.JoinNode(x_side, line, "o_orderkey", "l_orderkey")
+    with_supp = nodes.JoinNode(suppliers, core, "s_suppkey", "l_suppkey", build_side="left")
+    cross = nodes.FilterNode(
+        with_supp,
+        ((col("supp_nation") == lit(Q7_NATIONS[0])) & (col("cust_nation") == lit(Q7_NATIONS[1])))
+        | ((col("supp_nation") == lit(Q7_NATIONS[1])) & (col("cust_nation") == lit(Q7_NATIONS[0]))),
+    )
+    shaped = nodes.ProjectNode(
+        cross,
+        {
+            "supp_nation": "supp_nation",
+            "cust_nation": "cust_nation",
+            "l_year": col("l_shipdate") // 10_000,
+            "volume": col("l_extendedprice") * (lit(1.0) - col("l_discount")),
+        },
+    )
+    agg = nodes.AggregateNode(
+        shaped,
+        ["supp_nation", "cust_nation", "l_year"],
+        {"revenue": ("sum", "volume")},
+    )
+    return nodes.SortNode(agg, ["supp_nation", "cust_nation", "l_year"])
+
+
+# ----------------------------------------------------------------------
+# Q12 — shipping modes and order priority
+# ----------------------------------------------------------------------
+def q12_predicate():
+    return (
+        col("l_shipmode").isin(Q12_MODES)
+        & (col("l_commitdate") < col("l_receiptdate"))
+        & (col("l_shipdate") < col("l_commitdate"))
+        & (col("l_receiptdate") >= Q12_RECEIPT_LO)
+        & (col("l_receiptdate") < Q12_RECEIPT_HI)
+    )
+
+
+def q12_plan() -> nodes.PlanNode:
+    """Late lineitems per ship mode, split by order priority."""
+    line = nodes.ScanNode(
+        "lineitem",
+        ["l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"],
+        predicate=q12_predicate(),
+    )
+    ords = nodes.ScanNode("orders", ["o_orderkey", "o_orderpriority"])
+    core = nodes.JoinNode(ords, line, "o_orderkey", "l_orderkey")
+    high = col("o_orderpriority").isin(HIGH_PRIORITIES)
+    agg = nodes.AggregateNode(
+        core,
+        ["l_shipmode"],
+        {
+            "high_line_count": ("sum", where(high, 1, 0)),
+            "low_line_count": ("sum", where(high, 0, 1)),
+        },
+    )
+    return nodes.SortNode(agg, ["l_shipmode"])
+
+
+# ----------------------------------------------------------------------
+# JoinIndex variants: gather instead of join, same aggregations
+# ----------------------------------------------------------------------
+def q3_joinindex(ji: JoinIndex, catalog) -> Relation:
+    """Q3 over the materialized lineitem→orders join."""
+    line = ji.fact
+    mask = line.column("l_shipdate") > Q3_DATE
+    joined = ji.join(
+        ["l_orderkey", "l_extendedprice", "l_discount"],
+        ["o_custkey", "o_orderdate", "o_shippriority"],
+        fact_mask=mask,
+    )
+    rel = Relation(joined).filter(joined["o_orderdate"] < Q3_DATE)
+    cust = catalog.table("customer")
+    seg = cust.column("c_mktsegment")
+    building = cust.column("c_custkey")[_str_eq(seg, "BUILDING")]
+    rel = rel.filter(np.isin(rel.column("o_custkey"), building))
+    agg = GroupAggregate(
+        RelationSource(rel),
+        ["l_orderkey", "o_orderdate", "o_shippriority"],
+        {"revenue": ("sum", col("l_extendedprice") * (lit(1.0) - col("l_discount")))},
+    )
+    return Limit(Sort(agg, ["revenue", "o_orderdate"], [False, True]), 10).execute()
+
+
+def q7_joinindex(ji: JoinIndex, catalog) -> Relation:
+    """Q7 over the materialized lineitem→orders join."""
+    line = ji.fact
+    ship = line.column("l_shipdate")
+    mask = (ship >= Q7_SHIP_LO) & (ship <= Q7_SHIP_HI)
+    joined = ji.join(
+        ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        ["o_custkey"],
+        fact_mask=mask,
+    )
+    rel = Relation(joined)
+    nation_names = catalog.table("nation").column("n_name")
+    nation_keys = catalog.table("nation").column("n_nationkey")
+    fr_de = nation_keys[np.isin(nation_names, Q7_NATIONS)]
+    cust = catalog.table("customer")
+    cust_sel = np.isin(cust.column("c_nationkey"), fr_de)
+    cust_keys = cust.column("c_custkey")[cust_sel]
+    cust_nation = cust.column("c_nationkey")[cust_sel]
+    order_pos = np.searchsorted(cust_keys, rel.column("o_custkey"))
+    order_pos = np.clip(order_pos, 0, max(len(cust_keys) - 1, 0))
+    keep = (
+        np.zeros(rel.num_rows, dtype=bool)
+        if len(cust_keys) == 0
+        else cust_keys[order_pos] == rel.column("o_custkey")
+    )
+    rel = rel.filter(keep).with_column(
+        "cust_nationkey", cust_nation[order_pos[keep]] if keep.any() else np.zeros(0, dtype=np.int64)
+    )
+    supp = catalog.table("supplier")
+    supp_sel = np.isin(supp.column("s_nationkey"), fr_de)
+    supp_keys = supp.column("s_suppkey")[supp_sel]
+    supp_nation = supp.column("s_nationkey")[supp_sel]
+    pos = np.searchsorted(supp_keys, rel.column("l_suppkey"))
+    pos = np.clip(pos, 0, max(len(supp_keys) - 1, 0))
+    keep = (
+        np.zeros(rel.num_rows, dtype=bool)
+        if len(supp_keys) == 0
+        else supp_keys[pos] == rel.column("l_suppkey")
+    )
+    rel = rel.filter(keep).with_column(
+        "supp_nationkey", supp_nation[pos[keep]] if keep.any() else np.zeros(0, dtype=np.int64)
+    )
+    rel = rel.filter(rel.column("supp_nationkey") != rel.column("cust_nationkey"))
+    name_of = {int(k): str(v) for k, v in zip(nation_keys, nation_names)}
+    rel = rel.with_column(
+        "supp_nation", _map_names(rel.column("supp_nationkey"), name_of)
+    ).with_column(
+        "cust_nation", _map_names(rel.column("cust_nationkey"), name_of)
+    ).with_column("l_year", rel.column("l_shipdate") // 10_000).with_column(
+        "volume",
+        rel.column("l_extendedprice") * (1.0 - rel.column("l_discount")),
+    )
+    agg = GroupAggregate(
+        RelationSource(rel),
+        ["supp_nation", "cust_nation", "l_year"],
+        {"revenue": ("sum", "volume")},
+    )
+    return Sort(agg, ["supp_nation", "cust_nation", "l_year"]).execute()
+
+
+def q12_joinindex(ji: JoinIndex, catalog) -> Relation:
+    """Q12 over the materialized lineitem→orders join."""
+    line = ji.fact
+    ship = line.column("l_shipdate")
+    commit = line.column("l_commitdate")
+    receipt = line.column("l_receiptdate")
+    mode = line.column("l_shipmode")
+    mask = (
+        np.isin(mode, Q12_MODES)
+        & (commit < receipt)
+        & (ship < commit)
+        & (receipt >= Q12_RECEIPT_LO)
+        & (receipt < Q12_RECEIPT_HI)
+    )
+    joined = ji.join(["l_shipmode"], ["o_orderpriority"], fact_mask=mask)
+    rel = Relation(joined)
+    high = col("o_orderpriority").isin(HIGH_PRIORITIES)
+    agg = GroupAggregate(
+        RelationSource(rel),
+        ["l_shipmode"],
+        {
+            "high_line_count": ("sum", where(high, 1, 0)),
+            "low_line_count": ("sum", where(high, 0, 1)),
+        },
+    )
+    return Sort(agg, ["l_shipmode"]).execute()
+
+
+def _str_eq(arr: np.ndarray, value: str) -> np.ndarray:
+    return np.array([v == value for v in arr], dtype=bool)
+
+
+def _map_names(keys: np.ndarray, name_of: dict) -> np.ndarray:
+    out = np.empty(len(keys), dtype=object)
+    out[:] = [name_of[int(k)] for k in keys]
+    return out

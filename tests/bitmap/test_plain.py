@@ -1,0 +1,122 @@
+"""Unit tests for the ordinary bitmap baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import PlainBitmap
+
+
+class TestBasics:
+    def test_new_bitmap_is_zero(self):
+        bm = PlainBitmap(100)
+        assert len(bm) == 100
+        assert bm.count() == 0
+        assert not bm.get(0)
+        assert not bm.get(99)
+
+    def test_set_get_unset(self):
+        bm = PlainBitmap(70)
+        bm.set(0)
+        bm.set(69)
+        assert bm.get(0) and bm.get(69)
+        bm.unset(0)
+        assert not bm.get(0)
+        assert bm.count() == 1
+
+    def test_out_of_range_raises(self):
+        bm = PlainBitmap(10)
+        with pytest.raises(IndexError):
+            bm.get(10)
+        with pytest.raises(IndexError):
+            bm.set(-1)
+        with pytest.raises(IndexError):
+            bm.delete(10)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            PlainBitmap(-1)
+
+    def test_from_positions(self):
+        bm = PlainBitmap.from_positions([1, 5, 64, 99], 100)
+        assert bm.positions().tolist() == [1, 5, 64, 99]
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(IndexError):
+            PlainBitmap.from_positions([100], 100)
+
+    def test_from_bool_array(self):
+        bits = np.zeros(130, dtype=bool)
+        bits[[0, 64, 129]] = True
+        bm = PlainBitmap.from_bool_array(bits)
+        np.testing.assert_array_equal(bm.to_bool_array(), bits)
+
+    def test_iteration(self):
+        bm = PlainBitmap.from_positions([3, 7], 10)
+        assert list(bm) == [3, 7]
+
+
+class TestGrowth:
+    def test_append(self):
+        bm = PlainBitmap(0)
+        bm.append(True)
+        bm.append(False)
+        bm.append(True)
+        assert len(bm) == 3
+        assert bm.positions().tolist() == [0, 2]
+
+    def test_extend_across_word_boundary(self):
+        bm = PlainBitmap(60)
+        bm.extend(100)
+        assert len(bm) == 160
+        bm.set(159)
+        assert bm.get(159)
+
+    def test_extend_negative_raises(self):
+        with pytest.raises(ValueError):
+            PlainBitmap(5).extend(-1)
+
+
+class TestDelete:
+    def test_delete_shifts_subsequent_bits(self):
+        bm = PlainBitmap.from_positions([2, 5, 9], 10)
+        bm.delete(3)
+        assert len(bm) == 9
+        assert bm.positions().tolist() == [2, 4, 8]
+
+    def test_delete_set_bit_removes_it(self):
+        bm = PlainBitmap.from_positions([4], 10)
+        bm.delete(4)
+        assert bm.count() == 0
+
+    def test_delete_matches_list_reference(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random(500) < 0.4).tolist()
+        bm = PlainBitmap.from_bool_array(np.array(bits))
+        for _ in range(100):
+            pos = int(rng.integers(0, len(bits)))
+            bm.delete(pos)
+            del bits[pos]
+        np.testing.assert_array_equal(bm.to_bool_array(), np.array(bits))
+
+    def test_bulk_delete_matches_reference(self):
+        rng = np.random.default_rng(1)
+        bits = (rng.random(300) < 0.5).tolist()
+        bm = PlainBitmap.from_bool_array(np.array(bits))
+        targets = sorted(rng.choice(300, size=40, replace=False).tolist())
+        bm.bulk_delete(targets)
+        for pos in reversed(targets):
+            del bits[pos]
+        np.testing.assert_array_equal(bm.to_bool_array(), np.array(bits))
+
+    def test_delete_last_bit(self):
+        bm = PlainBitmap.from_positions([9], 10)
+        bm.delete(9)
+        assert len(bm) == 9
+        assert bm.count() == 0
+
+
+class TestMemory:
+    def test_memory_grows_with_length(self):
+        small = PlainBitmap(64)
+        large = PlainBitmap(64 * 1000)
+        assert large.memory_bytes() > small.memory_bytes()

@@ -1,0 +1,90 @@
+"""Unit tests for the longest sorted subsequence algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.lis import longest_sorted_subsequence, order_codes
+
+
+def check_sorted(values, idx, ascending=True):
+    seq = values[idx]
+    if len(seq) <= 1:
+        return True
+    pairs = seq[1:] >= seq[:-1] if ascending else seq[1:] <= seq[:-1]
+    return bool(np.all(pairs))
+
+
+def brute_force_length(values, ascending=True):
+    # O(n^2) DP reference
+    n = len(values)
+    best = [1] * n
+    for i in range(n):
+        for j in range(i):
+            ok = values[j] <= values[i] if ascending else values[j] >= values[i]
+            if ok:
+                best[i] = max(best[i], best[j] + 1)
+    return max(best, default=0)
+
+
+class TestLIS:
+    def test_empty(self):
+        assert len(longest_sorted_subsequence(np.array([]))) == 0
+
+    def test_sorted_input_keeps_everything(self):
+        idx = longest_sorted_subsequence(np.arange(100))
+        assert len(idx) == 100
+
+    def test_reverse_sorted_keeps_one(self):
+        idx = longest_sorted_subsequence(np.arange(100)[::-1])
+        assert len(idx) == 1
+
+    def test_duplicates_extend_run(self):
+        # non-decreasing: duplicates are part of the run
+        idx = longest_sorted_subsequence(np.array([1, 1, 1, 1]))
+        assert len(idx) == 4
+
+    def test_classic_example(self):
+        values = np.array([3, 1, 2, 10, 4, 5])
+        idx = longest_sorted_subsequence(values)
+        assert len(idx) == 4  # 1 2 4 5
+        assert check_sorted(values, idx)
+
+    def test_indices_are_increasing_positions(self):
+        values = np.array([5, 1, 6, 2, 7, 3])
+        idx = longest_sorted_subsequence(values)
+        assert np.all(np.diff(idx) > 0)
+        assert check_sorted(values, idx)
+
+    def test_descending(self):
+        values = np.array([1, 9, 8, 2, 7, 7, 3])
+        idx = longest_sorted_subsequence(values, ascending=False)
+        assert check_sorted(values, idx, ascending=False)
+        assert len(idx) == 5  # 9 8 7 7 3
+
+    def test_string_values(self):
+        values = np.array(["a", "c", "b", "d"], dtype=object)
+        idx = longest_sorted_subsequence(values)
+        assert len(idx) == 3
+        assert check_sorted(values[idx].astype(str), np.arange(3))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 20, size=40)
+        for ascending in (True, False):
+            idx = longest_sorted_subsequence(values, ascending)
+            assert check_sorted(values, idx, ascending)
+            assert len(idx) == brute_force_length(values, ascending)
+
+
+class TestOrderCodes:
+    def test_preserves_order(self):
+        values = np.array([30, 10, 20])
+        codes = order_codes(values)
+        assert codes.tolist() == [2, 0, 1]
+
+    def test_descending_negates(self):
+        values = np.array([1, 2])
+        asc = order_codes(values, True)
+        desc = order_codes(values, False)
+        np.testing.assert_array_equal(desc, -asc)

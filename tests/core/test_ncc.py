@@ -1,0 +1,158 @@
+"""Tests for the NearlyConstantColumn extension (§5.5 / §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BITMAP_DESIGN,
+    IDENTIFIER_DESIGN,
+    NearlyConstantColumn,
+    PatchIndex,
+    PatchIndexManager,
+)
+from repro.engine import col, lit
+from repro.plan import FilterNode, Optimizer, ScanNode, execute_plan
+from repro.plan.nodes import FilterNode as FN, UnionNode
+from repro.plan.rules import rewrite_constant_filter
+from repro.storage import Catalog, Table
+
+DESIGNS = [BITMAP_DESIGN, IDENTIFIER_DESIGN]
+
+
+def ncc_table(n=200, outliers=(5, 77, 123), name="t"):
+    values = np.full(n, 42, dtype=np.int64)
+    for i, pos in enumerate(outliers):
+        values[pos] = 100 + i
+    return Table.from_arrays(name, {"k": np.arange(n), "v": values})
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+class TestDiscovery:
+    def test_mode_becomes_constant(self, design):
+        t = ncc_table()
+        pi = PatchIndex(t, "v", NearlyConstantColumn(), design=design)
+        assert pi.constant_value == 42
+        assert sorted(pi.patch_rowids().tolist()) == [5, 77, 123]
+        assert pi.verify()
+
+    def test_fully_constant_column(self, design):
+        t = ncc_table(outliers=())
+        pi = PatchIndex(t, "v", NearlyConstantColumn(), design=design)
+        assert pi.num_patches == 0
+        assert pi.verify()
+
+    def test_empty_column(self, design):
+        t = Table.from_arrays("e", {"v": np.array([], dtype=np.int64)})
+        pi = PatchIndex(t, "v", NearlyConstantColumn(), design=design)
+        assert pi.constant_value is None
+        assert pi.num_patches == 0
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+class TestMaintenance:
+    def test_insert_constant_values_add_no_patches(self, design):
+        t = ncc_table()
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.insert({"k": np.array([200, 201]), "v": np.array([42, 42])})
+        assert pi.num_patches == 3
+        assert pi.verify()
+
+    def test_insert_deviating_values_become_patches(self, design):
+        t = ncc_table()
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.insert({"k": np.array([200, 201]), "v": np.array([42, 999])})
+        assert pi.num_patches == 4
+        assert pi.verify()
+
+    def test_modify_to_deviating_value(self, design):
+        t = ncc_table()
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.modify(np.array([10]), {"v": np.array([7])})
+        assert pi.is_patch(10)
+        assert pi.verify()
+
+    def test_modify_other_column_ignored(self, design):
+        t = ncc_table()
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.modify(np.array([10]), {"k": np.array([999])})
+        assert pi.num_patches == 3
+
+    def test_delete_drops_tracking(self, design):
+        t = ncc_table()
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.delete(np.array([5]))
+        assert pi.num_patches == 2
+        assert pi.verify()
+
+    def test_constant_defined_by_first_insert_into_empty_table(self, design):
+        t = Table.from_arrays("e", {"k": np.array([], dtype=np.int64),
+                                    "v": np.array([], dtype=np.int64)})
+        mgr = PatchIndexManager()
+        pi = mgr.create(t, "v", NearlyConstantColumn(), design=design)
+        t.insert({"k": np.arange(4), "v": np.array([9, 9, 9, 1])})
+        assert pi.constant_value == 9
+        assert pi.num_patches == 1
+        assert pi.verify()
+
+
+class TestFilterRewrite:
+    @pytest.fixture
+    def env(self):
+        t = ncc_table(name="c")
+        catalog = Catalog()
+        catalog.register(t)
+        mgr = PatchIndexManager(catalog)
+        mgr.create(t, "v", NearlyConstantColumn())
+        return catalog, mgr
+
+    def test_filter_on_constant_unions_flows(self, env):
+        catalog, mgr = env
+        plan = FilterNode(ScanNode("c"), col("v") == lit(42))
+        opt = rewrite_constant_filter(plan, mgr.get, force=True)
+        assert isinstance(opt, UnionNode)
+        result = execute_plan(opt, catalog)
+        reference = execute_plan(plan, catalog)
+        assert result.num_rows == reference.num_rows == 197
+
+    def test_filter_on_non_constant_probes_only_patches(self, env):
+        catalog, mgr = env
+        plan = FilterNode(ScanNode("c"), col("v") == lit(101))
+        opt = rewrite_constant_filter(plan, mgr.get, force=True)
+        assert isinstance(opt, FN)  # patches-only flow with the filter on top
+        result = execute_plan(opt, catalog)
+        assert result.num_rows == 1
+        assert result.column("k")[0] == 77
+
+    def test_literal_on_left_side(self, env):
+        catalog, mgr = env
+        plan = FilterNode(ScanNode("c"), lit(42) == col("v"))
+        opt = rewrite_constant_filter(plan, mgr.get, force=True)
+        assert opt is not None
+
+    def test_non_equality_not_rewritten(self, env):
+        catalog, mgr = env
+        plan = FilterNode(ScanNode("c"), col("v") > lit(41))
+        assert rewrite_constant_filter(plan, mgr.get, force=True) is None
+
+    def test_no_index_no_rewrite(self, env):
+        catalog, mgr = env
+        plan = FilterNode(ScanNode("c"), col("k") == lit(0))
+        assert rewrite_constant_filter(plan, mgr.get, force=True) is None
+
+    def test_zbp_on_clean_column(self):
+        t = ncc_table(outliers=(), name="clean")
+        catalog = Catalog()
+        catalog.register(t)
+        mgr = PatchIndexManager(catalog)
+        mgr.create(t, "v", NearlyConstantColumn())
+        plan = FilterNode(ScanNode("clean"), col("v") == lit(42))
+        opt = rewrite_constant_filter(
+            plan, mgr.get, zero_branch_pruning=True, force=True
+        )
+        assert not isinstance(opt, UnionNode)
+        assert execute_plan(opt, catalog).num_rows == 200

@@ -1,0 +1,302 @@
+"""End-to-end tests: logical plans, PatchIndex rewrites, execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearlySortedColumn, NearlyUniqueColumn, PatchIndexManager
+from repro.engine import col
+from repro.plan import (
+    AggregateNode,
+    CostModel,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    Optimizer,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    estimate_rows,
+    execute_plan,
+)
+from repro.plan.nodes import MergeCombineNode, PatchScanNode, UnionNode
+from repro.plan.rules import find_single_scan, is_sorted_on
+from repro.storage import Catalog, PartitionedTable, Table
+
+
+@pytest.fixture
+def env():
+    """Catalog with a NUC table, an NSC table and an index manager."""
+    rng = np.random.default_rng(42)
+    n = 2000
+    # value column: 10% of rows share values drawn from a small pool
+    values = np.arange(n, dtype=np.int64) + 10_000
+    dup_rows = rng.choice(n, size=200, replace=False)
+    values[dup_rows] = rng.integers(0, 50, size=200)
+    nuc = Table.from_arrays("nuc_t", {"k": np.arange(n), "v": values})
+
+    sorted_vals = np.arange(n, dtype=np.int64) * 3
+    patch_rows = rng.choice(n, size=150, replace=False)
+    sorted_vals[patch_rows] = rng.integers(0, 3 * n, size=150)
+    nsc = Table.from_arrays("nsc_t", {"k": np.arange(n), "v": sorted_vals})
+
+    catalog = Catalog()
+    catalog.register(nuc)
+    catalog.register(nsc)
+    mgr = PatchIndexManager(catalog)
+    mgr.create(nuc, "v", NearlyUniqueColumn())
+    mgr.create(nsc, "v", NearlySortedColumn())
+    return catalog, mgr
+
+
+def optimizer(env, zbp=False, force=True):
+    catalog, mgr = env
+    return Optimizer(catalog, mgr, zero_branch_pruning=zbp, use_cost_model=not force)
+
+
+class TestDistinctRewrite:
+    def test_plan_shape(self, env):
+        catalog, mgr = env
+        plan = DistinctNode(ScanNode("nuc_t", ["v"]), ["v"])
+        opt = optimizer(env).optimize(plan)
+        assert isinstance(opt, UnionNode)
+        assert "PatchScan" in opt.explain()
+
+    def test_result_matches_reference(self, env):
+        catalog, _ = env
+        plan = DistinctNode(ScanNode("nuc_t", ["v"]), ["v"])
+        reference = execute_plan(plan, catalog)
+        rewritten = optimizer(env).optimize(plan)
+        result = execute_plan(rewritten, catalog)
+        np.testing.assert_array_equal(
+            np.sort(result.column("v")), np.sort(reference.column("v"))
+        )
+
+    def test_rewrite_with_filter_in_subtree(self, env):
+        catalog, _ = env
+        plan = DistinctNode(
+            FilterNode(ScanNode("nuc_t", ["v"]), col("v") < 5000), ["v"]
+        )
+        rewritten = optimizer(env).optimize(plan)
+        reference = execute_plan(plan, catalog)
+        result = execute_plan(rewritten, catalog)
+        np.testing.assert_array_equal(
+            np.sort(result.column("v")), np.sort(reference.column("v"))
+        )
+
+    def test_no_rewrite_without_index(self, env):
+        plan = DistinctNode(ScanNode("nuc_t", ["k"]), ["k"])  # no index on k
+        assert optimizer(env).optimize(plan) is plan
+
+    def test_no_rewrite_under_join_subtree(self, env):
+        plan = DistinctNode(
+            JoinNode(ScanNode("nuc_t"), ScanNode("nsc_t"), "k", "k"), ["v"]
+        )
+        opt = optimizer(env).optimize(plan)
+        assert isinstance(opt, DistinctNode)
+
+
+class TestSortRewrite:
+    def test_plan_shape(self, env):
+        plan = SortNode(ScanNode("nsc_t", ["v"]), ["v"])
+        opt = optimizer(env).optimize(plan)
+        assert isinstance(opt, MergeCombineNode)
+
+    def test_result_is_sorted_and_complete(self, env):
+        catalog, _ = env
+        plan = SortNode(ScanNode("nsc_t", ["v"]), ["v"])
+        reference = execute_plan(plan, catalog)
+        result = execute_plan(optimizer(env).optimize(plan), catalog)
+        np.testing.assert_array_equal(result.column("v"), reference.column("v"))
+
+    def test_descending_order_mismatch_not_rewritten(self, env):
+        plan = SortNode(ScanNode("nsc_t", ["v"]), ["v"], [False])
+        assert optimizer(env).optimize(plan) is plan
+
+    def test_partitioned_sort_rewrite_merges_partitions(self):
+        n = 400
+        vals = np.arange(n, dtype=np.int64)
+        vals[[50, 170, 333]] = [7, 900, 2]
+        t = Table.from_arrays("pt", {"k": np.arange(n), "v": vals})
+        pt = PartitionedTable.from_table(t, "k", 4)
+        catalog = Catalog()
+        catalog.register(pt)
+        mgr = PatchIndexManager(catalog)
+        mgr.create(pt, "v", NearlySortedColumn())
+        plan = SortNode(ScanNode("pt", ["v"]), ["v"])
+        opt = Optimizer(catalog, mgr, use_cost_model=False).optimize(plan)
+        result = execute_plan(opt, catalog)
+        np.testing.assert_array_equal(result.column("v"), np.sort(vals))
+
+
+class TestJoinRewrite:
+    @pytest.fixture
+    def join_env(self):
+        rng = np.random.default_rng(7)
+        n_dim, n_fact = 300, 3000
+        dim = Table.from_arrays(
+            "dim", {"dk": np.arange(n_dim, dtype=np.int64),
+                    "dpay": rng.integers(0, 100, n_dim)}
+        )
+        fk = np.sort(rng.integers(0, n_dim, n_fact)).astype(np.int64)
+        disorder = rng.choice(n_fact, size=200, replace=False)
+        fk[disorder] = rng.integers(0, n_dim, size=200)
+        fact = Table.from_arrays(
+            "fact", {"fk": fk, "fpay": rng.integers(0, 10, n_fact)}
+        )
+        catalog = Catalog()
+        catalog.register(dim)
+        catalog.register(fact)
+        catalog.add_structure("sortkey", "dim", "dk", object())
+        mgr = PatchIndexManager(catalog)
+        mgr.create(fact, "fk", NearlySortedColumn())
+        return catalog, mgr
+
+    def test_plan_shape(self, join_env):
+        catalog, mgr = join_env
+        plan = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk")
+        opt = Optimizer(catalog, mgr, use_cost_model=False).optimize(plan)
+        text = opt.explain()
+        assert "Join[merge]" in text
+        assert "Join[hash]" in text
+        assert "ReuseCache" in text and "ReuseLoad" in text
+
+    def test_result_matches_reference(self, join_env):
+        catalog, mgr = join_env
+        plan = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk")
+        reference = execute_plan(plan, catalog)
+        opt = Optimizer(catalog, mgr, use_cost_model=False).optimize(plan)
+        result = execute_plan(opt, catalog)
+        assert result.num_rows == reference.num_rows
+        ref_rows = sorted(zip(reference.column("dk"), reference.column("fpay")))
+        got_rows = sorted(zip(result.column("dk"), result.column("fpay")))
+        assert ref_rows == got_rows
+
+    def test_no_rewrite_when_other_side_unsorted(self, join_env):
+        catalog, mgr = join_env
+        catalog.remove_structure("sortkey", "dim", "dk")
+        plan = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk")
+        opt = Optimizer(catalog, mgr, use_cost_model=False).optimize(plan)
+        assert isinstance(opt, JoinNode)
+        assert opt.algorithm == "hash"
+
+    def test_zbp_with_zero_patches_drops_hash_branch(self, join_env):
+        catalog, mgr = join_env
+        mgr.drop("fact", "fk")
+        # replace the fact table with a perfectly sorted one
+        fact = catalog.table("fact")
+        fact.modify(fact.rowids(), {"fk": np.sort(fact.column("fk"))})
+        mgr.create(fact, "fk", NearlySortedColumn())
+        assert mgr.get("fact", "fk").num_patches == 0
+        plan = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk")
+        opt = Optimizer(
+            catalog, mgr, zero_branch_pruning=True, use_cost_model=False
+        ).optimize(plan)
+        assert isinstance(opt, JoinNode) and opt.algorithm == "merge"
+        result = execute_plan(opt, catalog)
+        reference = execute_plan(plan, catalog)
+        assert result.num_rows == reference.num_rows
+
+
+class TestZeroBranchPruning:
+    def test_distinct_zbp(self):
+        t = Table.from_arrays("u", {"v": np.arange(100, dtype=np.int64)})
+        catalog = Catalog()
+        catalog.register(t)
+        mgr = PatchIndexManager(catalog)
+        mgr.create(t, "v", NearlyUniqueColumn())
+        plan = DistinctNode(ScanNode("u", ["v"]), ["v"])
+        opt = Optimizer(catalog, mgr, zero_branch_pruning=True,
+                        use_cost_model=False).optimize(plan)
+        assert not isinstance(opt, UnionNode)
+        result = execute_plan(opt, catalog)
+        assert result.num_rows == 100
+
+
+class TestCostModel:
+    def test_estimates_use_known_patch_counts(self, env):
+        catalog, mgr = env
+        handle = mgr.get("nuc_t", "v")
+        node = PatchScanNode("nuc_t", handle, "use_patches")
+        assert estimate_rows(node, catalog) == handle.num_patches
+
+    def test_cost_prefers_rewrite_for_large_distinct(self, env):
+        catalog, mgr = env
+        plan = DistinctNode(ScanNode("nuc_t", ["v"]), ["v"])
+        opt = Optimizer(catalog, mgr, use_cost_model=True).optimize(plan)
+        assert isinstance(opt, UnionNode)  # cost model accepts
+
+    def test_merge_join_cheaper_than_hash(self, env):
+        catalog, _ = env
+        cm = CostModel(catalog)
+        hash_plan = JoinNode(ScanNode("nuc_t"), ScanNode("nsc_t"), "k", "k")
+        merge_plan = JoinNode(
+            ScanNode("nuc_t"), ScanNode("nsc_t"), "k", "k", algorithm="merge"
+        )
+        assert cm.cost(merge_plan) < cm.cost(hash_plan)
+
+    def test_estimate_rows_covers_all_nodes(self, env):
+        catalog, _ = env
+        scan = ScanNode("nuc_t")
+        plans = [
+            scan,
+            FilterNode(scan, col("v") > 0),
+            ProjectNode(scan, {"v": "v"}),
+            DistinctNode(scan, ["v"]),
+            AggregateNode(scan, ["v"], {"c": ("count", None)}),
+            SortNode(scan, ["v"]),
+            LimitNode(scan, 5),
+            UnionNode([scan, scan]),
+        ]
+        for p in plans:
+            assert estimate_rows(p, catalog) >= 0
+
+
+class TestHelpers:
+    def test_find_single_scan(self, env):
+        scan = ScanNode("nuc_t")
+        assert find_single_scan(FilterNode(scan, col("v") > 0)) is scan
+        join = JoinNode(scan, ScanNode("nsc_t"), "k", "k")
+        assert find_single_scan(join) is None
+
+    def test_is_sorted_on_sortkey(self, env):
+        catalog, _ = env
+        catalog.add_structure("sortkey", "nuc_t", "k", object())
+        assert is_sorted_on(ScanNode("nuc_t"), "k", catalog)
+        assert not is_sorted_on(ScanNode("nuc_t"), "v", catalog)
+
+    def test_is_sorted_through_filter(self, env):
+        catalog, _ = env
+        catalog.add_structure("sortkey", "nuc_t", "k", catalog)
+        node = FilterNode(ScanNode("nuc_t"), col("v") > 0)
+        assert is_sorted_on(node, "k", catalog)
+
+    def test_probe_side_of_hash_join_preserves_order(self, env):
+        catalog, _ = env
+        catalog.add_structure("sortkey", "nuc_t", "k", catalog)
+        join = JoinNode(
+            ScanNode("nsc_t"), ScanNode("nuc_t"), "k", "k", build_side="left"
+        )
+        assert is_sorted_on(join, "k", catalog)
+
+    def test_plan_explain(self, env):
+        plan = SortNode(FilterNode(ScanNode("nsc_t"), col("v") > 3), ["v"])
+        text = plan.explain()
+        assert "Sort" in text and "Filter" in text and "Scan" in text
+
+
+class TestExecutorMisc:
+    def test_execute_strips_rowids(self, env):
+        catalog, mgr = env
+        handle = mgr.get("nuc_t", "v")
+        plan = PatchScanNode("nuc_t", handle, "use_patches", columns=["v"])
+        result = execute_plan(plan, catalog)
+        assert "__rowid__" not in result.column_names
+
+    def test_aggregate_plan(self, env):
+        catalog, _ = env
+        plan = AggregateNode(
+            ScanNode("nuc_t"), [], {"total": ("sum", "v"), "n": ("count", None)}
+        )
+        result = execute_plan(plan, catalog)
+        assert result.column("n")[0] == 2000

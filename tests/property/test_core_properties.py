@@ -1,0 +1,143 @@
+"""Property-based tests: constraint invariants under arbitrary updates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BITMAP_DESIGN,
+    IDENTIFIER_DESIGN,
+    NearlySortedColumn,
+    NearlyUniqueColumn,
+    PatchIndexManager,
+    discover_nsc_patches,
+    discover_nuc_patches,
+    longest_sorted_subsequence,
+)
+from repro.storage import Table
+
+values_lists = st.lists(st.integers(min_value=-50, max_value=50), min_size=0, max_size=120)
+
+
+@given(values_lists)
+@settings(max_examples=60, deadline=None)
+def test_nuc_discovery_invariants(values):
+    arr = np.array(values, dtype=np.int64)
+    patches = discover_nuc_patches(arr)
+    mask = np.zeros(len(arr), dtype=bool)
+    mask[patches] = True
+    kept = arr[~mask]
+    # kept values unique and disjoint from patch values
+    assert len(np.unique(kept)) == len(kept)
+    assert not np.isin(kept, arr[mask]).any()
+    # minimality: every kept value occurs exactly once globally
+    uniq, counts = np.unique(arr, return_counts=True)
+    assert len(kept) == int((counts == 1).sum())
+
+
+@given(values_lists, st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_nsc_discovery_invariants(values, ascending):
+    arr = np.array(values, dtype=np.int64)
+    patches, last = discover_nsc_patches(arr, ascending)
+    mask = np.zeros(len(arr), dtype=bool)
+    mask[patches] = True
+    kept = arr[~mask]
+    if len(kept) > 1:
+        diffs = kept[1:] - kept[:-1]
+        assert np.all(diffs >= 0) if ascending else np.all(diffs <= 0)
+    if len(kept):
+        assert last == kept[-1]
+
+
+@given(values_lists, st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_lis_is_maximal_among_dp(values, ascending):
+    arr = np.array(values, dtype=np.int64)
+    idx = longest_sorted_subsequence(arr, ascending)
+    # DP reference for the optimal length
+    best = 0
+    lengths = []
+    for i in range(len(arr)):
+        cur = 1
+        for j in range(i):
+            ok = arr[j] <= arr[i] if ascending else arr[j] >= arr[i]
+            if ok and lengths[j] + 1 > cur:
+                cur = lengths[j] + 1
+        lengths.append(cur)
+        best = max(best, cur)
+    assert len(idx) == best
+
+
+class UpdateOp:
+    def __init__(self, kind, a, values):
+        self.kind = kind
+        self.a = a
+        self.values = values
+
+    def __repr__(self):
+        return f"UpdateOp({self.kind}, {self.a}, {self.values})"
+
+
+@st.composite
+def update_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        kind = draw(st.sampled_from(["insert", "delete", "modify"]))
+        a = draw(st.integers(min_value=0, max_value=10**6))
+        vals = draw(st.lists(st.integers(min_value=-30, max_value=130), min_size=1, max_size=6))
+        ops.append(UpdateOp(kind, a, vals))
+    return ops
+
+
+def apply_update(table, op):
+    n = table.num_rows
+    if op.kind == "insert":
+        k0 = int(table.column("k").max()) + 1 if n else 0
+        table.insert({
+            "k": np.arange(k0, k0 + len(op.values), dtype=np.int64),
+            "v": np.array(op.values, dtype=np.int64),
+        })
+    elif n == 0:
+        return
+    elif op.kind == "delete":
+        count = min(len(op.values), n)
+        rng = np.random.default_rng(op.a)
+        table.delete(np.sort(rng.choice(n, size=count, replace=False)))
+    else:
+        count = min(len(op.values), n)
+        rng = np.random.default_rng(op.a)
+        rowids = np.sort(rng.choice(n, size=count, replace=False))
+        table.modify(rowids, {"v": np.array(op.values[:count], dtype=np.int64)})
+
+
+@given(values_lists, update_sequences(), st.sampled_from([BITMAP_DESIGN, IDENTIFIER_DESIGN]))
+@settings(max_examples=40, deadline=None)
+def test_nuc_index_survives_arbitrary_updates(values, ops, design):
+    table = Table.from_arrays(
+        "t",
+        {"k": np.arange(len(values)), "v": np.array(values, dtype=np.int64)},
+        minmax_block_size=16,
+    )
+    mgr = PatchIndexManager()
+    handle = mgr.create(table, "v", NearlyUniqueColumn(), design=design)
+    for op in ops:
+        apply_update(table, op)
+        assert handle.verify(), f"invariant broken after {op!r}"
+    assert handle.num_rows == table.num_rows
+
+
+@given(values_lists, update_sequences(), st.sampled_from([BITMAP_DESIGN, IDENTIFIER_DESIGN]))
+@settings(max_examples=40, deadline=None)
+def test_nsc_index_survives_arbitrary_updates(values, ops, design):
+    table = Table.from_arrays(
+        "t",
+        {"k": np.arange(len(values)), "v": np.array(values, dtype=np.int64)},
+        minmax_block_size=16,
+    )
+    mgr = PatchIndexManager()
+    handle = mgr.create(table, "v", NearlySortedColumn(), design=design)
+    for op in ops:
+        apply_update(table, op)
+        assert handle.verify(), f"invariant broken after {op!r}"
+    assert handle.num_rows == table.num_rows
