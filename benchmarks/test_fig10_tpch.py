@@ -12,7 +12,6 @@ join gains least from the rewrite; updates cost PatchIndex and
 JoinIndex only a modest overhead over the reference.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import format_table, time_fn, write_report

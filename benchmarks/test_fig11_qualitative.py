@@ -11,12 +11,10 @@ creation and memory cost; matview/SortKey score poorly on updates,
 SortKey best on memory, JoinIndex expensive to create.
 """
 
-import numpy as np
-
 from repro.bench import format_table, qualitative_scores, time_fn, write_report
 from repro.core import NearlySortedColumn, NearlyUniqueColumn, PatchIndexManager, PatchIndex
 from repro.materialization import JoinIndex, MaterializedView, SortKey
-from repro.plan import DistinctNode, Optimizer, ScanNode, SortNode, execute_plan
+from repro.plan import DistinctNode, Optimizer, ScanNode, execute_plan
 from repro.storage import Catalog
 from repro.workloads import generate_dataset, generate_tpch, insert_batch
 

@@ -12,9 +12,7 @@ Expected shape: USCensus_1 contributes 15 NSC columns with 9 above the
 the top bucket (nearly perfectly unique).
 """
 
-import numpy as np
-
-from repro.bench import format_table, time_fn, write_report
+from repro.bench import format_table, write_report
 from repro.core import discover_nsc_patches, discover_nuc_patches
 from repro.workloads import PUBLICBI_SPECS, generate_publicbi_dataset
 from repro.workloads.publicbi import profile_histogram

@@ -11,8 +11,6 @@ e; PatchIndex runtime grows gently with e (more tuples take the patch
 path); both PatchIndex designs behave alike.
 """
 
-import numpy as np
-
 from repro.bench import format_table, time_fn, write_report
 from repro.core import (
     NearlySortedColumn,
@@ -112,7 +110,9 @@ def check_shape(rows, constraint: str):
 def test_fig7_query_performance(benchmark):
     nuc_rows = run_constraint("nuc")
     nsc_rows = run_constraint("nsc")
-    headers = ["e", "w/o constraint [s]", "materialization [s]", "PI_bitmap [s]", "PI_identifier [s]"]
+    headers = [
+        "e", "w/o constraint [s]", "materialization [s]", "PI_bitmap [s]", "PI_identifier [s]"
+    ]
     report = (
         format_table(headers, nuc_rows, title=f"Figure 7 (NUC distinct query, n={NUM_ROWS})")
         + "\n\n"

@@ -10,8 +10,6 @@ no slower than the identifier design (paper: faster, since bits are set
 in a pre-allocated bitmap).
 """
 
-import numpy as np
-
 from repro.bench import format_table, time_fn, write_report
 from repro.core import (
     BITMAP_DESIGN,
@@ -62,9 +60,13 @@ def test_fig8_creation_time(benchmark):
     nsc_rows = creation_times("nsc")
     headers = ["e", "materialization [s]", "PI_bitmap [s]", "PI_identifier [s]"]
     report = (
-        format_table(headers, nuc_rows, title=f"Figure 8 (NUC: matview vs PatchIndex, n={NUM_ROWS})")
+        format_table(
+            headers, nuc_rows, title=f"Figure 8 (NUC: matview vs PatchIndex, n={NUM_ROWS})"
+        )
         + "\n\n"
-        + format_table(headers, nsc_rows, title=f"Figure 8 (NSC: SortKey vs PatchIndex, n={NUM_ROWS})")
+        + format_table(
+            headers, nsc_rows, title=f"Figure 8 (NSC: SortKey vs PatchIndex, n={NUM_ROWS})"
+        )
     )
     write_report("fig8_creation", report)
 

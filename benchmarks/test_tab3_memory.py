@@ -9,8 +9,6 @@ We print the formula table at the paper's scale and validate the
 formulas against structures measured at laptop scale.
 """
 
-import numpy as np
-
 from repro.bench import format_table, write_report
 from repro.core import (
     BITMAP_DESIGN,

@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["time_fn", "format_table", "write_report", "results_dir"]
+__all__ = [
+    "time_fn",
+    "time_serial_vs_parallel",
+    "format_table",
+    "write_report",
+    "results_dir",
+]
 
 
 def time_fn(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> float:
@@ -27,6 +33,29 @@ def time_fn(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> floa
         samples.append(time.perf_counter() - start)
     samples.sort()
     return samples[len(samples) // 2]
+
+
+def time_serial_vs_parallel(
+    fn: Callable[[object], object],
+    parallelism: int = 4,
+    repeats: int = 3,
+    warmup: int = 1,
+    **context_kwargs,
+) -> Tuple[float, float]:
+    """Time ``fn`` under serial and morsel-parallel execution.
+
+    ``fn`` receives an execution context (``None`` for the serial run, a
+    live :class:`~repro.engine.parallel.ExecutionContext` for the
+    parallel run) and should execute the workload with it.  Returns
+    ``(serial_seconds, parallel_seconds)`` medians; the ratio is the
+    serial-vs-parallel speedup the benchmark reports.
+    """
+    from repro.engine.parallel import ExecutionContext
+
+    serial = time_fn(lambda: fn(None), repeats=repeats, warmup=warmup)
+    with ExecutionContext(parallelism=parallelism, **context_kwargs) as context:
+        parallel = time_fn(lambda: fn(context), repeats=repeats, warmup=warmup)
+    return serial, parallel
 
 
 def format_table(

@@ -49,7 +49,7 @@ def clear_bit(words: np.ndarray, bit: int) -> None:
 
 
 def shift_down_vectorized(words: np.ndarray, bit: int, nbits: int) -> None:
-    """Shift bits ``(bit, nbits)`` one position down to ``(bit-0-based)``.
+    """Shift the bits in ``[bit, nbits)`` one position down (toward bit 0).
 
     After the call, logical bit ``j`` (for ``bit <= j < nbits - 1``) holds
     the value previously at ``j + 1``; bits below ``bit`` are unchanged and

@@ -41,7 +41,9 @@ class PlainBitmap:
     def from_positions(cls, positions: Iterable[int], length: int) -> "PlainBitmap":
         """Build a bitmap of ``length`` bits with the given positions set."""
         bm = cls(length)
-        pos = np.asarray(list(positions) if not isinstance(positions, np.ndarray) else positions, dtype=np.int64)
+        if not isinstance(positions, np.ndarray):
+            positions = list(positions)
+        pos = np.asarray(positions, dtype=np.int64)
         if len(pos) == 0:
             return bm
         if pos.min() < 0 or pos.max() >= length:

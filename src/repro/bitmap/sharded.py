@@ -60,7 +60,8 @@ class ShardedBitmap:
         if shard_bits <= 0 or shard_bits % WORD_BITS:
             raise ValueError("shard_bits must be a positive multiple of 64")
         self._shard_bits = shard_bits
-        self._shard_shift = shard_bits.bit_length() - 1 if shard_bits & (shard_bits - 1) == 0 else None
+        is_pow2 = shard_bits & (shard_bits - 1) == 0
+        self._shard_shift = shard_bits.bit_length() - 1 if is_pow2 else None
         self._words_per_shard = shard_bits // WORD_BITS
         self._length = length
         self._condense_threshold = condense_threshold

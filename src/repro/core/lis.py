@@ -13,8 +13,6 @@ order codes first; descending order negates the codes.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Tuple
-
 import numpy as np
 
 __all__ = ["longest_sorted_subsequence", "order_codes"]

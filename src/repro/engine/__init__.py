@@ -16,6 +16,7 @@ bitmap on-the-fly with the dataflow.
 
 from repro.engine.batch import Relation
 from repro.engine.expressions import BinaryExpr, ColumnRef, Expression, Literal, col, lit, where
+from repro.engine.parallel import ExecutionContext
 from repro.engine.operators import (
     Distinct,
     Filter,
@@ -37,6 +38,7 @@ from repro.engine.operators import (
 
 __all__ = [
     "Relation",
+    "ExecutionContext",
     "Expression",
     "ColumnRef",
     "Literal",

@@ -3,13 +3,23 @@
 from __future__ import annotations
 
 import operator
-from typing import Callable, Dict, Union
+from typing import Callable, Union
 
 import numpy as np
 
 from repro.engine.batch import Relation
 
-__all__ = ["Expression", "ColumnRef", "Literal", "BinaryExpr", "UnaryExpr", "CaseExpr", "col", "lit", "where"]
+__all__ = [
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "BinaryExpr",
+    "UnaryExpr",
+    "CaseExpr",
+    "col",
+    "lit",
+    "where",
+]
 
 
 class Expression:
@@ -189,7 +199,11 @@ def lit(value: object) -> Literal:
     return Literal(value)
 
 
-def where(cond: Expression, then: Union[Expression, object], otherwise: Union[Expression, object]) -> CaseExpr:
+def where(
+    cond: Expression,
+    then: Union[Expression, object],
+    otherwise: Union[Expression, object],
+) -> CaseExpr:
     """Shorthand conditional expression."""
     return CaseExpr(cond, _wrap(then), _wrap(otherwise))
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.engine.batch import ROWID, Relation
 from repro.engine.expressions import Expression, expression_columns
+from repro.engine.parallel import ExecutionContext, Morsel, row_chunks, table_morsels
 
 __all__ = [
     "Operator",
@@ -46,9 +47,20 @@ USE_PATCHES = "use_patches"
 class Operator:
     """Base class for physical operators."""
 
+    #: Execution context attached by :meth:`bind_context`; ``None`` (the
+    #: class default) means serial execution.
+    context: Optional[ExecutionContext] = None
+
     def execute(self) -> Relation:
         """Produce the operator's full result relation."""
         raise NotImplementedError
+
+    def bind_context(self, context: Optional[ExecutionContext]) -> "Operator":
+        """Attach an execution context to this subtree (returns self)."""
+        self.context = context
+        for child in self.children():
+            child.bind_context(context)
+        return self
 
     def children(self) -> List["Operator"]:
         """Child operators, for tree traversal."""
@@ -108,25 +120,48 @@ class Scan(Operator):
         """Restrict the scan to blocks possibly containing [lo, hi]."""
         self._ranges.append((column, lo, hi))
 
-    def _scan_one(self, table, rowid_offset: int) -> Relation:
-        n = table.num_rows
-        mask: Optional[np.ndarray] = None
-        if self.use_minmax and self._ranges and n:
-            mask = np.ones(n, dtype=bool)
-            for column, lo, hi in self._ranges:
-                mask &= table.minmax(column).row_mask_in_range(lo, hi)
+    def _needed_columns(self, table) -> Tuple[List[str], List[str]]:
         needed = list(self.columns)
         extra = []
         if self.predicate is not None:
             for name in expression_columns(self.predicate):
                 if name not in needed and name in table.schema:
                     extra.append(name)
-        cols = {c: table.column(c) for c in needed + extra}
+        return needed, extra
+
+    def _block_mask(self, table) -> Optional[np.ndarray]:
+        """Minmax-pruning row mask over one table/partition, or None."""
+        if not (self.use_minmax and self._ranges and table.num_rows):
+            return None
+        mask = np.ones(table.num_rows, dtype=bool)
+        for column, lo, hi in self._ranges:
+            mask &= table.minmax(column).row_mask_in_range(lo, hi)
+        return mask
+
+    def _scan_range(
+        self,
+        table,
+        start: int,
+        stop: int,
+        rowid_offset: int,
+        mask: Optional[np.ndarray] = None,
+    ) -> Relation:
+        """Scan rows ``[start, stop)`` of one table/partition.
+
+        ``rowid_offset`` is the global rowID of row ``start``; ``mask``
+        is the table-wide minmax pruning mask (sliced here), so morsels
+        share one mask computation.  Concatenating range scans in row
+        order is bit-identical to a full serial scan.
+        """
+        needed, extra = self._needed_columns(table)
+        cols = {c: table.column(c)[start:stop] for c in needed + extra}
         if self.with_rowids:
-            cols[ROWID] = np.arange(rowid_offset, rowid_offset + n, dtype=np.int64)
+            cols[ROWID] = np.arange(
+                rowid_offset, rowid_offset + (stop - start), dtype=np.int64
+            )
         rel = Relation(cols)
         if mask is not None:
-            rel = rel.filter(mask)
+            rel = rel.filter(mask[start:stop])
         if self.predicate is not None:
             if rel.num_rows:
                 rel = rel.filter(np.asarray(self.predicate.evaluate(rel), dtype=bool))
@@ -136,7 +171,45 @@ class Scan(Operator):
             rel = rel.drop(extra)
         return rel
 
+    def _scan_one(self, table, rowid_offset: int) -> Relation:
+        return self._scan_range(
+            table, 0, table.num_rows, rowid_offset, self._block_mask(table)
+        )
+
+    def parallel_morsel_thunks(self) -> Optional[List[Callable[[], Relation]]]:
+        """Per-morsel scan closures in row order, or None when the bound
+        context does not warrant parallel execution.
+
+        Used by this operator's parallel path and by fused pipelines
+        (:class:`Filter` / :class:`PatchSelect` on top of a scan) that
+        push their per-tuple work into the same morsel tasks.  The gate
+        runs before any minmax mask is materialized, so a serial
+        fallback costs nothing; masks are then computed once per
+        table/partition, on the calling thread.
+        """
+        ctx = self.context
+        if ctx is None or not ctx.active:
+            return None
+        morsels = table_morsels(self.table, ctx.morsel_rows)
+        if not ctx.should_parallelize(self.table.num_rows, len(morsels)):
+            return None
+        masks: Dict[int, Optional[np.ndarray]] = {}
+        for m in morsels:
+            key = id(m.table)
+            if key not in masks:
+                masks[key] = self._block_mask(m.table)
+        return [
+            _ScanMorselThunk(self, m, masks[id(m.table)]) for m in morsels
+        ]
+
     def execute(self) -> Relation:
+        ctx = self.context
+        # A bare scan only profits from morsels when there is per-tuple
+        # work to do; otherwise the serial path is zero-copy.
+        if self.predicate is not None or self._ranges:
+            thunks = self.parallel_morsel_thunks()
+            if thunks is not None:
+                return Relation.concat(ctx.map(_call, thunks))
         partitions = getattr(self.table, "partitions", None)
         if partitions is None:
             return self._scan_one(self.table, 0)
@@ -175,13 +248,25 @@ class PatchSelect(Operator):
     def children(self) -> List[Operator]:
         return [self.child]
 
-    def execute(self) -> Relation:
-        rel = self.child.execute()
-        rowids = rel.column(ROWID)
-        patch_mask = np.asarray(self.mask_fn(), dtype=bool)
-        flags = patch_mask[rowids]
+    def _keep(self, rel: Relation, patch_mask: np.ndarray) -> Relation:
+        flags = patch_mask[rel.column(ROWID)]
         keep = flags if self.mode == USE_PATCHES else ~flags
         return rel.filter(keep)
+
+    def execute(self) -> Relation:
+        ctx = self.context
+        if ctx is not None and isinstance(self.child, Scan):
+            # Fused scan→patch-select pipeline: the bitmap lookup and the
+            # filter run inside the scan's morsel tasks.
+            thunks = self.child.parallel_morsel_thunks()
+            if thunks is not None:
+                patch_mask = np.asarray(self.mask_fn(), dtype=bool)
+                return Relation.concat(
+                    ctx.map(lambda t: self._keep(t(), patch_mask), thunks)
+                )
+        rel = self.child.execute()
+        patch_mask = np.asarray(self.mask_fn(), dtype=bool)
+        return self._keep(rel, patch_mask)
 
     def label(self) -> str:
         return f"PatchSelect({self.mode})"
@@ -197,11 +282,29 @@ class Filter(Operator):
     def children(self) -> List[Operator]:
         return [self.child]
 
-    def execute(self) -> Relation:
-        rel = self.child.execute()
+    def _apply(self, rel: Relation) -> Relation:
         if rel.num_rows == 0:
             return rel
         return rel.filter(np.asarray(self.predicate.evaluate(rel), dtype=bool))
+
+    def execute(self) -> Relation:
+        ctx = self.context
+        if ctx is not None and isinstance(self.child, Scan):
+            # Fused scan→filter pipeline over the scan's morsels.
+            thunks = self.child.parallel_morsel_thunks()
+            if thunks is not None:
+                return Relation.concat(ctx.map(lambda t: self._apply(t()), thunks))
+        rel = self.child.execute()
+        if ctx is not None and ctx.active:
+            chunks = row_chunks(rel.num_rows, ctx.morsel_rows)
+            if ctx.should_parallelize(rel.num_rows, len(chunks)):
+                # Predicates are elementwise, so chunked evaluation is
+                # bit-identical to one whole-relation evaluation.
+                pieces = ctx.map(
+                    lambda c: self._apply(_slice_relation(rel, c[0], c[1])), chunks
+                )
+                return Relation.concat(pieces)
+        return self._apply(rel)
 
     def label(self) -> str:
         return f"Filter({self.predicate!r})"
@@ -260,6 +363,37 @@ def _hash_expand_matches(
         np.asarray(build_idx, dtype=np.int64),
         np.asarray(probe_idx, dtype=np.int64),
     )
+
+
+def _parallel_hash_expand_matches(
+    ctx: ExecutionContext, build_keys: np.ndarray, probe_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partitioned parallel hash join (integer keys).
+
+    Both sides are split by ``key mod P``; partition-local hash tables
+    are built and probed concurrently, and the match pairs are re-sorted
+    to ``(probe, build)`` order — exactly the order the serial build
+    (insertion-ordered buckets, ascending probe loop) produces, keeping
+    the output bit-identical.
+    """
+    nparts = ctx.parallelism
+    build_part = np.mod(build_keys, nparts)
+    probe_part = np.mod(probe_keys, nparts)
+
+    def join_partition(p: int) -> Tuple[np.ndarray, np.ndarray]:
+        bsel = np.flatnonzero(build_part == p)
+        psel = np.flatnonzero(probe_part == p)
+        if len(bsel) == 0 or len(psel) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        bi, pi = _hash_expand_matches(build_keys[bsel], probe_keys[psel])
+        return bsel[bi], psel[pi]
+
+    pairs = ctx.map(join_partition, list(range(nparts)))
+    build_idx = np.concatenate([b for b, _ in pairs])
+    probe_idx = np.concatenate([p for _, p in pairs])
+    order = np.lexsort((build_idx, probe_idx))
+    return build_idx[order], probe_idx[order]
 
 
 def _expand_matches(
@@ -365,10 +499,23 @@ class HashJoin(Operator):
                     if probe_key in scan.columns:
                         scan.push_range(probe_key, lo, hi)
             probe_rel = probe_op.execute()
-        build_idx, probe_idx = _hash_expand_matches(
+        build_idx, probe_idx = self._matches(
             build_rel.column(build_key), probe_rel.column(probe_key)
         )
         return _join_output(build_rel, probe_rel, build_idx, probe_idx, build_key, probe_key)
+
+    def _matches(
+        self, build_keys: np.ndarray, probe_keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        ctx = self.context
+        if (
+            ctx is not None
+            and ctx.should_parallelize(len(probe_keys))
+            and build_keys.dtype.kind in "iu"
+            and probe_keys.dtype.kind in "iu"
+        ):
+            return _parallel_hash_expand_matches(ctx, build_keys, probe_keys)
+        return _hash_expand_matches(build_keys, probe_keys)
 
     def label(self) -> str:
         drp = ", DRP" if self.dynamic_range_propagation else ""
@@ -499,6 +646,14 @@ class GroupAggregate(Operator):
         rel = self.child.execute()
         if not self.group_keys:
             return self._global_aggregate(rel)
+        ctx = self.context
+        if ctx is not None and ctx.active:
+            chunks = row_chunks(rel.num_rows, ctx.morsel_rows)
+            if ctx.should_parallelize(rel.num_rows, len(chunks)):
+                return self._parallel_aggregate(ctx, rel, chunks)
+        return self._serial_aggregate(rel)
+
+    def _serial_aggregate(self, rel: Relation) -> Relation:
         codes, first_idx = factorize_rows([rel.column(k) for k in self.group_keys])
         ngroups = len(first_idx)
         out: Dict[str, np.ndarray] = {
@@ -509,7 +664,13 @@ class GroupAggregate(Operator):
                 out[name] = np.bincount(codes, minlength=ngroups).astype(np.int64)
                 continue
             values = self._input_array(rel, spec)
-            if func == "sum" or func == "avg":
+            if func == "sum" and values.dtype.kind in "iu":
+                # exact int64 accumulation (matches the parallel partial
+                # merge bit-for-bit at any magnitude)
+                acc_i = np.zeros(ngroups, dtype=np.int64)
+                np.add.at(acc_i, codes, values)
+                out[name] = acc_i
+            elif func == "sum" or func == "avg":
                 sums = np.bincount(codes, weights=values.astype(np.float64), minlength=ngroups)
                 if func == "sum":
                     out[name] = sums if values.dtype.kind == "f" else _maybe_int(sums, values)
@@ -524,6 +685,125 @@ class GroupAggregate(Operator):
                 acc = _filled(ngroups, values, -np.inf)
                 np.maximum.at(acc, codes, values)
                 out[name] = _maybe_int(acc, values)
+        return Relation(out)
+
+    # ------------------------------------------------------------------
+    # two-phase parallel aggregation
+    # ------------------------------------------------------------------
+    def _parallel_aggregate(self, ctx: ExecutionContext, rel: Relation, chunks) -> Relation:
+        """Per-worker partial aggregation plus a merge step.
+
+        Phase 1 (parallel, one task per row chunk): factorize the
+        chunk-local group keys, evaluate aggregate inputs, and reduce
+        the *associative* aggregates (count, min, max, integer sum) to
+        chunk-local partials.  Phase 2 (merge, calling thread): unify the
+        chunk-local group keys into the global (key-sorted) group order
+        and combine the partials.
+
+        Floating-point sums and averages are NOT merged from partials —
+        IEEE addition is not associative, so that would diverge from the
+        serial plan by rounding.  For those the merge phase reduces the
+        chunk-evaluated inputs with one ordered ``bincount`` over the
+        globally mapped codes, which accumulates in original row order
+        and is therefore bit-identical to serial execution.  (Integer
+        sums use exact int64 accumulation on both the serial and the
+        parallel path, so they agree at any magnitude.)
+        """
+        nkeys = len(self.group_keys)
+        specs = list(self.aggregates.items())
+
+        def phase1(chunk):
+            start, stop = chunk
+            piece = _slice_relation(rel, start, stop)
+            local_keys = [piece.column(k) for k in self.group_keys]
+            codes, first_idx = factorize_rows(local_keys)
+            ngroups = len(first_idx)
+            uniques = [k[first_idx] for k in local_keys]
+            partials: Dict[str, np.ndarray] = {}
+            values: Dict[str, np.ndarray] = {}
+            for name, (func, spec) in specs:
+                if func == "count":
+                    partials[name] = np.bincount(codes, minlength=ngroups).astype(np.int64)
+                    continue
+                vals = self._input_array(piece, spec)
+                if func == "sum" and vals.dtype.kind in "iu":
+                    acc = np.zeros(ngroups, dtype=np.int64)
+                    np.add.at(acc, codes, vals)
+                    partials[name] = acc
+                elif func == "min":
+                    acc = _filled(ngroups, vals, np.inf)
+                    np.minimum.at(acc, codes, vals)
+                    partials[name] = acc
+                elif func == "max":
+                    acc = _filled(ngroups, vals, -np.inf)
+                    np.maximum.at(acc, codes, vals)
+                    partials[name] = acc
+                else:  # float sum / avg: keep inputs for the ordered merge
+                    values[name] = vals
+                    if func == "avg":
+                        partials[name] = np.bincount(codes, minlength=ngroups)
+            return codes, uniques, partials, values
+
+        results = ctx.map(phase1, chunks)
+
+        # merge phase: unify chunk-local groups into the global order
+        merged_keys = [
+            np.concatenate([res[1][i] for res in results]) for i in range(nkeys)
+        ]
+        global_codes, global_first = factorize_rows(merged_keys)
+        ngroups = len(global_first)
+        out: Dict[str, np.ndarray] = {
+            k: merged_keys[i][global_first] for i, k in enumerate(self.group_keys)
+        }
+        # chunk-local group c of chunk j maps to global group mappings[j][c]
+        mappings: List[np.ndarray] = []
+        offset = 0
+        for res in results:
+            nlocal = len(res[1][0])
+            mappings.append(global_codes[offset : offset + nlocal])
+            offset += nlocal
+
+        full_codes: Optional[np.ndarray] = None
+        for name, (func, spec) in specs:
+            needs_ordered = name in results[0][3]
+            if needs_ordered and full_codes is None:
+                full_codes = np.empty(rel.num_rows, dtype=np.int64)
+                for (start, stop), res, mapping in zip(chunks, results, mappings):
+                    full_codes[start:stop] = mapping[res[0]]
+            if func == "count":
+                acc_i = np.zeros(ngroups, dtype=np.int64)
+                for res, mapping in zip(results, mappings):
+                    acc_i[mapping] += res[2][name]
+                out[name] = acc_i
+            elif func == "min" or func == "max":
+                fill = np.inf if func == "min" else -np.inf
+                acc_f = np.full(ngroups, fill, dtype=np.float64)
+                combine = np.minimum if func == "min" else np.maximum
+                for res, mapping in zip(results, mappings):
+                    acc_f[mapping] = combine(acc_f[mapping], res[2][name])
+                # a one-row evaluation recovers the input dtype for the
+                # same int-vs-float output decision the serial path makes
+                sample = self._input_array(_slice_relation(rel, 0, 1), spec)
+                out[name] = _maybe_int(acc_f, sample)
+            elif func == "sum" and name not in results[0][3]:
+                acc_i = np.zeros(ngroups, dtype=np.int64)
+                for res, mapping in zip(results, mappings):
+                    acc_i[mapping] += res[2][name]
+                out[name] = acc_i
+            else:
+                # ordered reduction: accumulates in original row order,
+                # matching the serial bincount bit-for-bit
+                weights = np.concatenate([res[3][name] for res in results])
+                sums = np.bincount(
+                    full_codes, weights=weights.astype(np.float64), minlength=ngroups
+                )
+                if func == "sum":
+                    out[name] = sums
+                else:  # avg
+                    counts = np.zeros(ngroups, dtype=np.int64)
+                    for res, mapping in zip(results, mappings):
+                        counts[mapping] += res[2][name]
+                    out[name] = sums / np.maximum(counts, 1)
         return Relation(out)
 
     def _global_aggregate(self, rel: Relation) -> Relation:
@@ -681,6 +961,30 @@ class Limit(Operator):
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
+class _ScanMorselThunk:
+    """Zero-arg callable producing one morsel's scan result."""
+
+    __slots__ = ("scan", "morsel", "mask")
+
+    def __init__(self, scan: Scan, morsel: Morsel, mask: Optional[np.ndarray]) -> None:
+        self.scan = scan
+        self.morsel = morsel
+        self.mask = mask
+
+    def __call__(self) -> Relation:
+        m = self.morsel
+        return self.scan._scan_range(m.table, m.start, m.stop, m.rowid_offset, self.mask)
+
+
+def _call(thunk: Callable[[], Relation]) -> Relation:
+    return thunk()
+
+
+def _slice_relation(rel: Relation, start: int, stop: int) -> Relation:
+    """Row range of a relation as numpy views (no copies)."""
+    return Relation({n: arr[start:stop] for n, arr in rel.columns().items()})
+
+
 def find_scans(op: Operator) -> List[Scan]:
     """All Scan operators in a subtree (range-propagation targets)."""
     found: List[Scan] = []

@@ -1,0 +1,224 @@
+"""Morsel-driven parallel execution (the engine-side analogue of §4.2.3).
+
+The paper parallelizes PatchIndex *maintenance* by exploiting that
+shard-local bitmap work is independent; this module applies the same
+discipline to *query execution*.  Tables are cut into fixed-size row
+ranges ("morsels", after the morsel-driven scheduling of Leis et al.),
+each morsel is processed by a worker of a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`, and the per-morsel
+results are combined in morsel order.  Because numpy kernels release the
+GIL for the heavy slice work — the same property
+:mod:`repro.bitmap.parallel` relies on — scan/filter/patch-select
+pipelines scale across cores despite running in threads.
+
+Determinism contract
+--------------------
+Parallel execution must be indistinguishable from serial execution:
+
+* morsels are formed from contiguous row ranges and concatenated in
+  morsel order, so tuple order matches a serial scan bit-for-bit;
+* hash-join match pairs are re-sorted to the serial probe order;
+* aggregation merges per-worker partials only for aggregates whose
+  reduction is exactly associative (count, min, max, int64 integer
+  sums); floating-point sums are reduced in original row order so IEEE
+  rounding matches the serial plan.
+
+Operators consult the :class:`ExecutionContext` attached to their tree
+(see :meth:`repro.engine.operators.Operator.bind_context`); with no
+context, or ``parallelism=1``, every path degenerates to the serial
+implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "DEFAULT_MORSEL_ROWS",
+    "DEFAULT_MIN_PARALLEL_ROWS",
+    "ExecutionContext",
+    "Morsel",
+    "row_chunks",
+    "table_morsels",
+]
+
+#: Rows per morsel; large enough that numpy kernel time dominates the
+#: per-task dispatch overhead, small enough to load-balance.
+DEFAULT_MORSEL_ROWS = 65_536
+
+#: Below this many input rows parallel dispatch is pure overhead (the
+#: left side of the paper's Figure 6 U-curve) and operators run serially.
+DEFAULT_MIN_PARALLEL_ROWS = 16_384
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclasses.dataclass(frozen=True)
+class Morsel:
+    """A contiguous row range of one table (or partition).
+
+    ``rowid_offset`` is the global rowID of row ``start``, so scans can
+    attach rowIDs that match a serial full-table scan.
+    """
+
+    table: object
+    start: int
+    stop: int
+    rowid_offset: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+
+def row_chunks(num_rows: int, chunk_rows: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_rows)`` into contiguous ``(start, stop)`` ranges."""
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    return [
+        (start, min(start + chunk_rows, num_rows))
+        for start in range(0, num_rows, chunk_rows)
+    ]
+
+
+def table_morsels(table, morsel_rows: int = DEFAULT_MORSEL_ROWS) -> List[Morsel]:
+    """Morsels covering ``table`` in row order.
+
+    Partitioned tables contribute per-partition ranges (morsels never
+    span a partition boundary, mirroring the partition-local processing
+    of §3.2); plain tables are cut into ``morsel_rows`` ranges.
+    """
+    partitions = getattr(table, "partitions", None)
+    if partitions is None:
+        return [
+            Morsel(table, start, stop, start)
+            for start, stop in row_chunks(table.num_rows, morsel_rows)
+        ]
+    offsets = table.partition_offsets()
+    morsels: List[Morsel] = []
+    for part, offset in zip(partitions, offsets):
+        for start, stop in row_chunks(part.num_rows, morsel_rows):
+            morsels.append(Morsel(part, start, stop, int(offset) + start))
+    return morsels
+
+
+class ExecutionContext:
+    """Shared worker pool plus the knobs of one parallel execution.
+
+    Parameters
+    ----------
+    parallelism:
+        Worker count; ``1`` disables parallel paths entirely and ``None``
+        uses the CPU count.
+    morsel_rows:
+        Rows per morsel / per aggregation chunk.
+    min_parallel_rows:
+        Operators with fewer input rows stay serial.
+
+    The pool is created lazily on first use and shared by every operator
+    bound to the context (and by concurrent queries of one session); it
+    is safe to call :meth:`map` from several threads at once.
+    """
+
+    def __init__(
+        self,
+        parallelism: Optional[int] = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS,
+    ) -> None:
+        if parallelism is None:
+            parallelism = os.cpu_count() or 1
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if morsel_rows < 1:
+            raise ValueError("morsel_rows must be >= 1")
+        self._parallelism = int(parallelism)
+        self.morsel_rows = int(morsel_rows)
+        self.min_parallel_rows = int(min_parallel_rows)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def parallelism(self) -> int:
+        return self._parallelism
+
+    @property
+    def active(self) -> bool:
+        """Whether parallel paths should engage at all."""
+        return self._parallelism > 1
+
+    def should_parallelize(self, num_rows: int, num_tasks: int = 2) -> bool:
+        """Gate for operators: enough rows and at least two tasks."""
+        return self.active and num_tasks >= 2 and num_rows >= self.min_parallel_rows
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
+        if self._pool is None:
+            with self._pool_lock:
+                if self._closed:
+                    return None
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._parallelism,
+                        thread_name_prefix="repro-exec",
+                    )
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        Runs inline when the context is serial, closed, or there is at
+        most one item; otherwise dispatches to the shared pool.  The
+        first worker exception propagates to the caller.
+
+        ``fn`` must not call :meth:`map` recursively: only leaf-level
+        morsel work goes to the pool, operator orchestration stays on the
+        calling thread, which keeps the fixed-size pool deadlock-free.
+        """
+        if not self.active or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        if pool is None:
+            # closed (e.g. by SET parallelism racing an in-flight query):
+            # degrade to inline execution rather than resurrect a pool
+            # nothing would ever shut down again.
+            return [fn(item) for item in items]
+        try:
+            return list(pool.map(fn, items))
+        except RuntimeError:
+            # the pool shut down between _ensure_pool and the submit;
+            # morsel tasks are pure, so recomputing inline is safe
+            if self._closed:
+                return [fn(item) for item in items]
+            raise
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent and permanent).
+
+        In-flight :meth:`map` callers finish; later calls run inline.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ExecutionContext(parallelism={self._parallelism}, "
+            f"morsel_rows={self.morsel_rows})"
+        )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.plan import nodes
 from repro.plan.stats import estimate_rows
 from repro.storage.catalog import Catalog
@@ -27,6 +28,14 @@ class CostModel:
     hashing a tuple costs more than merging it, sorting pays an extra
     log factor, and the PatchSelect overhead is a small constant (the
     "typically below 1 % of query runtime" observation of §3.5).
+
+    ``parallelism`` makes the model aware of the morsel-parallel
+    executor: per-tuple costs of the data-parallel operators (scans,
+    filters, patch selections, hash joins, aggregations) are divided by
+    the worker count achievable for the operator's input cardinality —
+    an input smaller than a morsel cannot use more than one worker —
+    plus a per-worker dispatch overhead.  Order-sensitive operators
+    (sort, merge join/combine) execute serially and keep their cost.
     """
 
     COST_SCAN = 1.0
@@ -41,24 +50,44 @@ class CostModel:
     COST_AGGREGATE = 3.0
     COST_UNION = 0.05
     COST_MERGE_COMBINE = 0.5
+    #: Fixed cost of dispatching work to one parallel worker.
+    COST_WORKER_DISPATCH = 10.0
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: Catalog, parallelism: int = 1) -> None:
         self.catalog = catalog
+        self.parallelism = max(1, int(parallelism))
 
     def cost(self, node: nodes.PlanNode) -> float:
         """Total estimated cost of a plan subtree."""
         child_cost = sum(self.cost(c) for c in node.children())
         return child_cost + self._local_cost(node)
 
+    def _parallel(self, cost_units: float, rows: float) -> float:
+        """Scale a data-parallel operator's cost by achievable workers.
+
+        Inputs smaller than a morsel run serially in the executor, so
+        they keep the serial cost — no phantom dispatch overhead.
+        """
+        if self.parallelism <= 1 or rows <= 0:
+            return cost_units
+        workers = min(float(self.parallelism), rows / DEFAULT_MORSEL_ROWS)
+        if workers <= 1.0:
+            return cost_units
+        return cost_units / workers + self.COST_WORKER_DISPATCH * workers
+
     def _local_cost(self, node: nodes.PlanNode) -> float:
         rows = estimate_rows(node, self.catalog)
         if isinstance(node, nodes.ScanNode):
-            return self.COST_SCAN * float(self.catalog.table(node.table).num_rows)
+            total = float(self.catalog.table(node.table).num_rows)
+            return self._parallel(self.COST_SCAN * total, total)
         if isinstance(node, nodes.PatchScanNode):
             total = float(node.index.num_rows)
-            return self.COST_SCAN * total + self.COST_PATCH_SELECT * total
+            return self._parallel(
+                self.COST_SCAN * total + self.COST_PATCH_SELECT * total, total
+            )
         if isinstance(node, nodes.FilterNode):
-            return self.COST_FILTER * estimate_rows(node.child, self.catalog)
+            child_rows = estimate_rows(node.child, self.catalog)
+            return self._parallel(self.COST_FILTER * child_rows, child_rows)
         if isinstance(node, nodes.ProjectNode):
             return self.COST_PROJECT * rows
         if isinstance(node, nodes.JoinNode):
@@ -67,14 +96,17 @@ class CostModel:
             if node.algorithm == "merge":
                 return self.COST_MERGE_JOIN * (left + right)
             build, probe = min(left, right), max(left, right)
-            return self.COST_HASH_BUILD * build + self.COST_HASH_PROBE * probe
+            return self._parallel(
+                self.COST_HASH_BUILD * build + self.COST_HASH_PROBE * probe, probe
+            )
         if isinstance(node, nodes.SortNode):
             n = estimate_rows(node.child, self.catalog)
             return self.COST_SORT * n * max(1.0, math.log2(max(n, 2.0)))
         if isinstance(node, nodes.DistinctNode):
             return self.COST_DISTINCT * estimate_rows(node.child, self.catalog)
         if isinstance(node, nodes.AggregateNode):
-            return self.COST_AGGREGATE * estimate_rows(node.child, self.catalog)
+            child_rows = estimate_rows(node.child, self.catalog)
+            return self._parallel(self.COST_AGGREGATE * child_rows, child_rows)
         if isinstance(node, nodes.LimitNode):
             return 0.0
         if isinstance(node, nodes.UnionNode):

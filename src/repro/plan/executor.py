@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.engine.batch import ROWID, Relation
 from repro.engine import operators as ops
+from repro.engine.parallel import ExecutionContext
 from repro.plan import nodes
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
@@ -28,14 +29,29 @@ class _LoweringContext:
         return self.slots[slot_id]
 
 
-def build_operator_tree(plan: nodes.PlanNode, catalog: Catalog) -> ops.Operator:
-    """Translate a logical plan into a physical operator tree."""
-    return _lower(plan, _LoweringContext(catalog))
+def build_operator_tree(
+    plan: nodes.PlanNode,
+    catalog: Catalog,
+    context: Optional[ExecutionContext] = None,
+) -> ops.Operator:
+    """Translate a logical plan into a physical operator tree.
+
+    ``context`` attaches a morsel-parallel execution context to every
+    operator of the tree; ``None`` keeps execution serial.
+    """
+    root = _lower(plan, _LoweringContext(catalog))
+    if context is not None:
+        root.bind_context(context)
+    return root
 
 
-def execute_plan(plan: nodes.PlanNode, catalog: Catalog) -> Relation:
+def execute_plan(
+    plan: nodes.PlanNode,
+    catalog: Catalog,
+    context: Optional[ExecutionContext] = None,
+) -> Relation:
     """Build and run a plan; internal rowID columns are stripped."""
-    result = build_operator_tree(plan, catalog).execute()
+    result = build_operator_tree(plan, catalog, context).execute()
     if ROWID in result:
         result = result.drop([ROWID])
     return result

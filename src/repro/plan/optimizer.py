@@ -34,6 +34,9 @@ class Optimizer:
     use_cost_model:
         Gate rewrites on estimated cost; when False, every matching
         rewrite is applied (the paper's forced plans).
+    parallelism:
+        Worker count the cost model should assume (see
+        :class:`~repro.plan.cost.CostModel`).
     """
 
     def __init__(
@@ -42,12 +45,13 @@ class Optimizer:
         index_manager,
         zero_branch_pruning: bool = False,
         use_cost_model: bool = True,
+        parallelism: int = 1,
     ) -> None:
         self.catalog = catalog
         self.index_manager = index_manager
         self.zero_branch_pruning = zero_branch_pruning
         self.use_cost_model = use_cost_model
-        self.cost_model = CostModel(catalog)
+        self.cost_model = CostModel(catalog, parallelism=parallelism)
 
     # ------------------------------------------------------------------
     def optimize(self, plan: nodes.PlanNode) -> nodes.PlanNode:

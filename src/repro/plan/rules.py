@@ -24,7 +24,7 @@ unless ``force=True`` (used to reproduce the paper's forced plans).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.constraints import (
     NearlyConstantColumn,

@@ -9,8 +9,6 @@ pruning.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.plan import nodes
 from repro.storage.catalog import Catalog
 

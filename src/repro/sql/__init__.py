@@ -8,7 +8,7 @@ so every PatchIndex rewrite applies transparently to SQL text.
 """
 
 from repro.sql.lexer import Token, TokenKind, tokenize
-from repro.sql.parser import parse_statement
+from repro.sql.parser import SetStatement, parse_statement
 from repro.sql.session import SQLSession
 
-__all__ = ["tokenize", "Token", "TokenKind", "parse_statement", "SQLSession"]
+__all__ = ["tokenize", "Token", "TokenKind", "parse_statement", "SetStatement", "SQLSession"]

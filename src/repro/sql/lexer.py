@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Iterator, List
+from typing import List
 
 __all__ = ["TokenKind", "Token", "tokenize", "SQLSyntaxError"]
 

@@ -20,6 +20,7 @@ __all__ = [
     "InsertStatement",
     "UpdateStatement",
     "DeleteStatement",
+    "SetStatement",
 ]
 
 AGG_FUNCS = {"SUM": "sum", "COUNT": "count", "MIN": "min", "MAX": "max", "AVG": "avg"}
@@ -53,7 +54,17 @@ class DeleteStatement:
     predicate: Optional[Expression]
 
 
-Statement = Union[SelectStatement, InsertStatement, UpdateStatement, DeleteStatement]
+@dataclasses.dataclass
+class SetStatement:
+    """``SET <name> = <value>`` — a session configuration knob."""
+
+    name: str
+    value: object
+
+
+Statement = Union[
+    SelectStatement, InsertStatement, UpdateStatement, DeleteStatement, SetStatement
+]
 
 
 def parse_statement(sql: str) -> Statement:
@@ -107,6 +118,8 @@ class _Parser:
             stmt = self._parse_update()
         elif self._peek().matches(TokenKind.KEYWORD, "DELETE"):
             stmt = self._parse_delete()
+        elif self._peek().matches(TokenKind.KEYWORD, "SET"):
+            stmt = self._parse_set()
         else:
             raise SQLSyntaxError(f"unsupported statement start {self._peek().value!r}")
         self._accept(TokenKind.PUNCT, ";")
@@ -341,6 +354,23 @@ class _Parser:
         table = self._expect(TokenKind.IDENT).value
         predicate = self._parse_expr() if self._keyword("WHERE") else None
         return DeleteStatement(table, predicate)
+
+    # -- SET -------------------------------------------------------------
+    def _parse_set(self) -> SetStatement:
+        self._expect(TokenKind.KEYWORD, "SET")
+        name = self._expect(TokenKind.IDENT).value
+        self._expect(TokenKind.OPERATOR, "=")
+        tok = self._advance()
+        if tok.kind is TokenKind.NUMBER:
+            value: object = float(tok.value) if "." in tok.value else int(tok.value)
+        elif tok.kind in (TokenKind.STRING, TokenKind.IDENT):
+            value = tok.value
+        else:
+            raise SQLSyntaxError(
+                f"expected a literal SET value, found {tok.value!r} "
+                f"at position {tok.position}"
+            )
+        return SetStatement(name, value)
 
     # ------------------------------------------------------------------
     # expressions (precedence climbing)

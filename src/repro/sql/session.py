@@ -7,12 +7,14 @@ from typing import Optional
 import numpy as np
 
 from repro.engine.batch import Relation
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS, ExecutionContext
 from repro.plan.executor import execute_plan
 from repro.plan.optimizer import Optimizer
 from repro.sql.parser import (
     DeleteStatement,
     InsertStatement,
     SelectStatement,
+    SetStatement,
     UpdateStatement,
     parse_statement,
 )
@@ -34,6 +36,13 @@ class SQLSession:
         rewrites fire on plain SQL text.
     zero_branch_pruning / use_cost_model:
         Forwarded to the optimizer.
+    parallelism:
+        Worker count for morsel-parallel SELECT execution; ``1`` (the
+        default) runs serially.  Also settable per session via the SQL
+        statement ``SET parallelism = N``.  Parallel results are
+        bit-identical to serial execution.
+    morsel_rows:
+        Rows per parallel work unit (see :mod:`repro.engine.parallel`).
     """
 
     def __init__(
@@ -42,8 +51,12 @@ class SQLSession:
         index_manager=None,
         zero_branch_pruning: bool = False,
         use_cost_model: bool = True,
+        parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
         self.catalog = catalog
+        self._morsel_rows = morsel_rows
+        self._context: Optional[ExecutionContext] = None
         self.optimizer: Optional[Optimizer] = None
         if index_manager is not None:
             self.optimizer = Optimizer(
@@ -51,7 +64,50 @@ class SQLSession:
                 index_manager,
                 zero_branch_pruning=zero_branch_pruning,
                 use_cost_model=use_cost_model,
+                parallelism=parallelism,
             )
+        self.set_parallelism(parallelism)
+
+    # ------------------------------------------------------------------
+    # parallelism knob
+    # ------------------------------------------------------------------
+    @property
+    def parallelism(self) -> int:
+        """Current worker count (1 = serial)."""
+        return self._context.parallelism if self._context is not None else 1
+
+    def set_parallelism(self, parallelism: int) -> None:
+        """Reconfigure the session's worker count.
+
+        Replaces the execution context (shutting the old worker pool
+        down) and updates the optimizer's cost model so plan decisions
+        reflect the new worker count.
+        """
+        parallelism = int(parallelism)
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        old, self._context = self._context, None
+        if old is not None:
+            old.close()
+        if parallelism > 1:
+            self._context = ExecutionContext(
+                parallelism=parallelism, morsel_rows=self._morsel_rows
+            )
+        if self.optimizer is not None:
+            self.optimizer.cost_model.parallelism = parallelism
+
+    def close(self) -> None:
+        """Release the session's worker pool (the session stays usable
+        serially)."""
+        old, self._context = self._context, None
+        if old is not None:
+            old.close()
+
+    def __enter__(self) -> "SQLSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def execute(self, sql: str):
@@ -65,6 +121,8 @@ class SQLSession:
             return self._run_update(stmt)
         if isinstance(stmt, DeleteStatement):
             return self._run_delete(stmt)
+        if isinstance(stmt, SetStatement):
+            return self._run_set(stmt)
         raise TypeError(f"unhandled statement {type(stmt).__name__}")
 
     def explain(self, sql: str) -> str:
@@ -82,7 +140,14 @@ class SQLSession:
         plan = stmt.plan
         if self.optimizer is not None:
             plan = self.optimizer.optimize(plan)
-        return execute_plan(plan, self.catalog)
+        return execute_plan(plan, self.catalog, context=self._context)
+
+    def _run_set(self, stmt: SetStatement) -> int:
+        name = stmt.name.lower()
+        if name == "parallelism":
+            self.set_parallelism(int(stmt.value))
+            return self.parallelism
+        raise ValueError(f"unknown session setting {stmt.name!r}")
 
     def _run_insert(self, stmt: InsertStatement) -> int:
         table = self.catalog.table(stmt.table)

@@ -69,7 +69,10 @@ class Column:
         values: Union[Sequence, np.ndarray],
         ctype: ColumnType | None = None,
     ) -> None:
-        arr = values if isinstance(values, np.ndarray) else np.asarray(values, dtype=object if _has_strings(values) else None)
+        if isinstance(values, np.ndarray):
+            arr = values
+        else:
+            arr = np.asarray(values, dtype=object if _has_strings(values) else None)
         if ctype is None:
             ctype = ColumnType.infer(arr)
         self.name = name

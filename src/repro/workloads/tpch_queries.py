@@ -12,8 +12,6 @@ the materialized join (the paper's comparison baseline).
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.engine import Relation, col, lit, where
@@ -219,7 +217,8 @@ def q7_joinindex(ji: JoinIndex, catalog) -> Relation:
         else cust_keys[order_pos] == rel.column("o_custkey")
     )
     rel = rel.filter(keep).with_column(
-        "cust_nationkey", cust_nation[order_pos[keep]] if keep.any() else np.zeros(0, dtype=np.int64)
+        "cust_nationkey",
+        cust_nation[order_pos[keep]] if keep.any() else np.zeros(0, dtype=np.int64),
     )
     supp = catalog.table("supplier")
     supp_sel = np.isin(supp.column("s_nationkey"), fr_de)

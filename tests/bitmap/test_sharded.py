@@ -32,6 +32,31 @@ class TestConstruction:
         bm.delete(100)
         assert bm.get(498)
 
+    def test_power_of_two_vs_fallback_shard_lookup(self):
+        """§4.2.1: power-of-two shard sizes use the shift-based initial
+        shard guess; other multiples of 64 fall back to a search.  Both
+        paths must agree with a plain list reference bit-for-bit."""
+        pow2 = ShardedBitmap(1500, shard_bits=256)
+        fallback = ShardedBitmap(1500, shard_bits=192)
+        assert pow2._shard_shift is not None  # fast path engaged
+        assert fallback._shard_shift is None  # non-pow2 fallback engaged
+
+        rng = np.random.default_rng(11)
+        bits = (rng.random(1500) < 0.4).tolist()
+        for pos, bit in enumerate(bits):
+            if bit:
+                pow2.set(pos)
+                fallback.set(pos)
+        for _ in range(200):
+            pos = int(rng.integers(0, len(bits)))
+            pow2.delete(pos)
+            fallback.delete(pos)
+            del bits[pos]
+        reference = np.array(bits)
+        np.testing.assert_array_equal(pow2.to_bool_array(), reference)
+        np.testing.assert_array_equal(fallback.to_bool_array(), reference)
+        assert len(pow2) == len(fallback) == len(bits)
+
 
 class TestBitAccess:
     def test_set_get_unset(self):

@@ -1,7 +1,6 @@
 """Unit tests for NUC/NSC patch discovery."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     NearlySortedColumn,

@@ -11,7 +11,7 @@ from repro.core import (
     PatchIndexManager,
 )
 from repro.engine import col, lit
-from repro.plan import FilterNode, Optimizer, ScanNode, execute_plan
+from repro.plan import FilterNode, ScanNode, execute_plan
 from repro.plan.nodes import FilterNode as FN, UnionNode
 from repro.plan.rules import rewrite_constant_filter
 from repro.storage import Catalog, Table

@@ -114,7 +114,9 @@ class TestJoins:
         left = src(k=[1, 2, 3], lv=[10, 20, 30])
         right = src(k=[2, 3, 3, 4], rv=[200, 300, 301, 400])
         out = HashJoin(left, right, "k", "k").execute()
-        rows = sorted(zip(out.column("k").tolist(), out.column("lv").tolist(), out.column("rv").tolist()))
+        rows = sorted(
+            zip(out.column("k").tolist(), out.column("lv").tolist(), out.column("rv").tolist())
+        )
         assert rows == [(2, 20, 200), (3, 30, 300), (3, 30, 301)]
 
     def test_hash_join_no_matches(self):
@@ -205,7 +207,8 @@ class TestSortDistinctAggregate:
         assert out.column("s").tolist() == [10.0]
 
     def test_global_aggregate(self):
-        out = GroupAggregate(src(v=[1, 2, 3]), [], {"s": ("sum", "v"), "c": ("count", None)}).execute()
+        aggs = {"s": ("sum", "v"), "c": ("count", None)}
+        out = GroupAggregate(src(v=[1, 2, 3]), [], aggs).execute()
         assert out.column("s").tolist() == [6]
         assert out.column("c").tolist() == [3]
 

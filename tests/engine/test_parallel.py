@@ -1,0 +1,127 @@
+"""Unit tests for the morsel-parallel execution primitives."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ExecutionContext,
+    Morsel,
+    row_chunks,
+    table_morsels,
+)
+from repro.storage import PartitionedTable, Table
+
+
+def make_table(n=1000, name="t"):
+    return Table.from_arrays(
+        name, {"k": np.arange(n, dtype=np.int64), "v": np.arange(n, dtype=np.float64)}
+    )
+
+
+class TestRowChunks:
+    def test_exact_cover(self):
+        chunks = row_chunks(10, 4)
+        assert chunks == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_chunk(self):
+        assert row_chunks(3, 100) == [(0, 3)]
+
+    def test_empty(self):
+        assert row_chunks(0, 10) == []
+
+    def test_invalid_chunk_rows(self):
+        with pytest.raises(ValueError):
+            row_chunks(10, 0)
+
+
+class TestTableMorsels:
+    def test_plain_table_cover(self):
+        t = make_table(1000)
+        morsels = table_morsels(t, 256)
+        assert [m.num_rows for m in morsels] == [256, 256, 256, 232]
+        assert [m.rowid_offset for m in morsels] == [0, 256, 512, 768]
+        assert all(m.table is t for m in morsels)
+
+    def test_partitioned_table_respects_boundaries(self):
+        t = make_table(1000)
+        pt = PartitionedTable.from_table(t, "k", 4)
+        morsels = table_morsels(pt, 100)
+        # morsels never span a partition
+        for m in morsels:
+            assert m.table in pt.partitions
+        # offsets reconstruct the global rowid space contiguously
+        total = 0
+        for m in morsels:
+            assert m.rowid_offset == total
+            total += m.num_rows
+        assert total == 1000
+
+    def test_default_morsel_rows(self):
+        t = make_table(10)
+        (m,) = table_morsels(t)
+        assert (m.start, m.stop) == (0, 10)
+        assert DEFAULT_MORSEL_ROWS > 0
+
+
+class TestExecutionContext:
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(parallelism=0)
+
+    def test_serial_context_inactive(self):
+        ctx = ExecutionContext(parallelism=1)
+        assert not ctx.active
+        assert not ctx.should_parallelize(10**9)
+
+    def test_map_preserves_order(self):
+        with ExecutionContext(parallelism=4) as ctx:
+            out = ctx.map(lambda x: x * x, list(range(100)))
+        assert out == [x * x for x in range(100)]
+
+    def test_map_propagates_exceptions(self):
+        def boom(x):
+            if x == 5:
+                raise RuntimeError("morsel failed")
+            return x
+
+        with ExecutionContext(parallelism=3) as ctx:
+            with pytest.raises(RuntimeError, match="morsel failed"):
+                ctx.map(boom, list(range(10)))
+
+    def test_map_runs_inline_when_serial(self):
+        ctx = ExecutionContext(parallelism=1)
+        tid = threading.get_ident()
+        tids = ctx.map(lambda _: threading.get_ident(), [1, 2, 3])
+        assert set(tids) == {tid}
+        assert ctx._pool is None  # no pool was ever created
+
+    def test_map_uses_worker_threads(self):
+        with ExecutionContext(parallelism=2) as ctx:
+            tids = ctx.map(lambda _: threading.get_ident(), list(range(8)))
+        assert threading.get_ident() not in tids
+
+    def test_close_is_idempotent_and_permanent(self):
+        ctx = ExecutionContext(parallelism=2)
+        ctx.map(lambda x: x, [1, 2, 3])
+        ctx.close()
+        ctx.close()
+        # after close, map degrades to inline execution — correct results,
+        # but no pool is ever resurrected (SET parallelism can race an
+        # in-flight query without leaking worker threads)
+        tid = threading.get_ident()
+        assert ctx.map(lambda _: threading.get_ident(), list(range(4))) == [tid] * 4
+        assert ctx._pool is None
+
+    def test_should_parallelize_thresholds(self):
+        ctx = ExecutionContext(parallelism=4, min_parallel_rows=100)
+        assert ctx.should_parallelize(100, num_tasks=2)
+        assert not ctx.should_parallelize(99, num_tasks=2)
+        assert not ctx.should_parallelize(1000, num_tasks=1)
+        ctx.close()
+
+    def test_morsel_dataclass(self):
+        m = Morsel(table=None, start=5, stop=9, rowid_offset=105)
+        assert m.num_rows == 4

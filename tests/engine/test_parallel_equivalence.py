@@ -1,0 +1,212 @@
+"""Parallel-vs-serial equivalence: results must be bit-identical.
+
+The morsel-parallel executor promises indistinguishability from serial
+execution (see :mod:`repro.engine.parallel`).  This suite pins that
+promise over the TPC-H query suite, PatchIndex-optimized Figure 7
+plans over partitioned tables, and randomized operator workloads —
+comparing every column with exact equality (including dtypes, float
+bit patterns included).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NearlySortedColumn, NearlyUniqueColumn, PatchIndexManager
+from repro.engine import col, lit
+from repro.engine.parallel import ExecutionContext
+from repro.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    Optimizer,
+    ScanNode,
+    SortNode,
+    execute_plan,
+)
+from repro.storage import Catalog, PartitionedTable, Table
+from repro.workloads import generate_dataset, generate_tpch
+from repro.workloads.tpch_queries import q3_plan, q7_plan, q12_plan
+
+#: Tiny morsels + a zero row threshold force every parallel path to
+#: engage even on test-sized data.
+CTX_KWARGS = dict(morsel_rows=1024, min_parallel_rows=0)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    with ExecutionContext(parallelism=3, **CTX_KWARGS) as context:
+        yield context
+
+
+def assert_identical(serial, parallel):
+    assert serial.column_names == parallel.column_names
+    assert serial.num_rows == parallel.num_rows
+    for name in serial.column_names:
+        a, b = serial.column(name), parallel.column(name)
+        assert a.dtype == b.dtype, name
+        np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+def run_both(plan, catalog, ctx):
+    assert_identical(
+        execute_plan(plan, catalog), execute_plan(plan, catalog, context=ctx)
+    )
+
+
+class TestTPCHEquivalence:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        catalog = Catalog()
+        generate_tpch(scale=0.004, seed=7).register(catalog)
+        return catalog
+
+    @pytest.mark.parametrize("make_plan", [q3_plan, q7_plan, q12_plan], ids=["q3", "q7", "q12"])
+    def test_query_identical(self, catalog, ctx, make_plan):
+        run_both(make_plan(), catalog, ctx)
+
+    def test_q12_partitioned_lineitem(self, ctx):
+        """Morsels must respect partition boundaries of the probe side."""
+        catalog = Catalog()
+        data = generate_tpch(scale=0.004, seed=7)
+        data.register(catalog)
+        catalog.drop("lineitem")
+        catalog.register(
+            PartitionedTable.from_table(data.lineitem, "l_orderkey", 5)
+        )
+        run_both(q12_plan(), catalog, ctx)
+
+    def test_parallelism_choice_does_not_change_results(self, catalog):
+        expected = execute_plan(q3_plan(), catalog)
+        for workers in (2, 5):
+            with ExecutionContext(parallelism=workers, **CTX_KWARGS) as c:
+                assert_identical(expected, execute_plan(q3_plan(), catalog, context=c))
+
+
+class TestPatchIndexPlanEquivalence:
+    """Figure 7 plan shapes: PatchScan flows over partitioned tables."""
+
+    @pytest.mark.parametrize("constraint", ["nuc", "nsc"])
+    @pytest.mark.parametrize("rate", [0.0, 0.1, 0.5])
+    def test_optimized_plans(self, ctx, constraint, rate):
+        ds = generate_dataset(
+            20_000,
+            rate,
+            constraint,
+            num_partitions=4,
+            seed=11,
+            name=f"eq_{constraint}_{int(rate * 10)}",
+            payload_columns=2,
+        )
+        catalog = Catalog()
+        catalog.register(ds.table)
+        mgr = PatchIndexManager(catalog)
+        cons = NearlyUniqueColumn() if constraint == "nuc" else NearlySortedColumn()
+        mgr.create(ds.table, "v", cons)
+        if constraint == "nuc":
+            plan = DistinctNode(ScanNode(ds.table.name, ["v"]), ["v"])
+        else:
+            plan = SortNode(ScanNode(ds.table.name), ["v"])
+        optimized = Optimizer(catalog, mgr, use_cost_model=False).optimize(plan)
+        run_both(optimized, catalog, ctx)
+
+
+class TestRandomizedWorkloads:
+    """Seeded random relations through every parallelized operator."""
+
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        rng = np.random.default_rng(23)
+        n = 30_000
+        fact = Table.from_arrays(
+            "fact",
+            {
+                "fk": rng.integers(0, 5_000, n).astype(np.int64),
+                "grp": rng.integers(0, 40, n).astype(np.int64),
+                "cat": np.array(rng.choice(["x", "y", "z"], n), dtype=object),
+                "val": rng.random(n),
+                "qty": rng.integers(0, 1000, n).astype(np.int64),
+            },
+        )
+        dim = Table.from_arrays(
+            "dim",
+            {
+                "dk": np.arange(5_000, dtype=np.int64),
+                "weight": rng.random(5_000),
+            },
+        )
+        catalog = Catalog()
+        catalog.register(fact)
+        catalog.register(dim)
+        return catalog
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_filter_scan(self, catalog, ctx, seed):
+        rng = np.random.default_rng(seed)
+        lo = float(rng.random() * 0.5)
+        plan = FilterNode(
+            ScanNode("fact"), (col("val") > lo) & (col("grp") < int(rng.integers(5, 40)))
+        )
+        run_both(plan, catalog, ctx)
+
+    def test_hash_join_duplicates(self, catalog, ctx):
+        plan = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk", build_side="left")
+        run_both(plan, catalog, ctx)
+
+    def test_hash_join_auto_build_side(self, catalog, ctx):
+        plan = JoinNode(ScanNode("fact"), ScanNode("dim"), "fk", "dk")
+        run_both(plan, catalog, ctx)
+
+    def test_aggregate_all_functions(self, catalog, ctx):
+        plan = AggregateNode(
+            ScanNode("fact"),
+            ["grp", "cat"],
+            {
+                "n": ("count", None),
+                "int_sum": ("sum", "qty"),
+                "float_sum": ("sum", "val"),
+                "expr_sum": ("sum", col("val") * (lit(1.0) + col("val"))),
+                "lo": ("min", "val"),
+                "hi": ("max", "qty"),
+                "mean": ("avg", "val"),
+            },
+        )
+        run_both(plan, catalog, ctx)
+
+    def test_aggregate_over_filter(self, catalog, ctx):
+        plan = AggregateNode(
+            FilterNode(ScanNode("fact"), col("val") > 0.3),
+            ["grp"],
+            {"s": ("sum", "val"), "n": ("count", None)},
+        )
+        run_both(plan, catalog, ctx)
+
+    def test_hash_join_dynamic_range_propagation(self, catalog, ctx):
+        """DRP pushes build-side key ranges into probe scans at runtime;
+        the pruned parallel scan must still match the serial result."""
+        narrow = FilterNode(ScanNode("dim"), col("dk") < 500)
+        plan = JoinNode(
+            narrow,
+            ScanNode("fact"),
+            "dk",
+            "fk",
+            build_side="left",
+            dynamic_range_propagation=True,
+        )
+        run_both(plan, catalog, ctx)
+
+    def test_sort_after_parallel_scan(self, catalog, ctx):
+        plan = SortNode(FilterNode(ScanNode("fact"), col("val") > 0.5), ["fk", "qty"])
+        run_both(plan, catalog, ctx)
+
+    def test_join_then_aggregate_pipeline(self, catalog, ctx):
+        joined = JoinNode(ScanNode("dim"), ScanNode("fact"), "dk", "fk", build_side="left")
+        plan = SortNode(
+            AggregateNode(
+                joined,
+                ["grp"],
+                {"wsum": ("sum", col("val") * col("weight")), "n": ("count", None)},
+            ),
+            ["grp"],
+        )
+        run_both(plan, catalog, ctx)

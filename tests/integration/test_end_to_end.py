@@ -1,7 +1,6 @@
 """Integration tests spanning storage, core, plan, sql and baselines."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     NearlySortedColumn,
@@ -18,7 +17,7 @@ from repro.plan import (
     execute_plan,
 )
 from repro.sql import SQLSession
-from repro.storage import Catalog, PartitionedTable, Snapshot, Table
+from repro.storage import Catalog, Snapshot, Table
 from repro.workloads import generate_dataset, generate_tpch, perturb_order
 from repro.workloads.tpch_queries import q3_plan, q12_plan
 

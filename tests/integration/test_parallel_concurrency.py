@@ -1,0 +1,120 @@
+"""Concurrency stress for the morsel-parallel executor.
+
+Complements ``test_sharded_bitmap_concurrency.py``: that file covers the
+bitmap layer, this one hammers the execution layer — many client threads
+sharing one :class:`~repro.engine.parallel.ExecutionContext` (and one
+:class:`~repro.sql.SQLSession`), all queries running with parallel
+morsel dispatch at once.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import col
+from repro.engine.parallel import ExecutionContext
+from repro.plan import AggregateNode, FilterNode, ScanNode, execute_plan
+from repro.sql import SQLSession
+from repro.storage import Catalog, Table
+
+N_ROWS = 20_000
+N_THREADS = 6
+N_QUERIES = 15
+
+
+@pytest.fixture
+def catalog():
+    rng = np.random.default_rng(42)
+    table = Table.from_arrays(
+        "events",
+        {
+            "eid": np.arange(N_ROWS, dtype=np.int64),
+            "grp": rng.integers(0, 25, N_ROWS).astype(np.int64),
+            "val": rng.random(N_ROWS),
+        },
+    )
+    catalog = Catalog()
+    catalog.register(table)
+    return catalog
+
+
+def run_threads(worker, n_threads=N_THREADS):
+    errors = []
+
+    def guarded(i):
+        try:
+            worker(i)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=guarded, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert all(not t.is_alive() for t in threads), "worker thread hung"
+    assert not errors, errors
+
+
+class TestSharedContextStress:
+    def test_concurrent_plan_execution(self, catalog):
+        """N client threads × M queries over one shared worker pool."""
+        plans = [
+            FilterNode(ScanNode("events"), col("val") > 0.6),
+            AggregateNode(
+                ScanNode("events"), ["grp"], {"s": ("sum", "val"), "n": ("count", None)}
+            ),
+            AggregateNode(
+                FilterNode(ScanNode("events"), col("grp") < 10),
+                ["grp"],
+                {"hi": ("max", "val")},
+            ),
+        ]
+        expected = [execute_plan(p, catalog) for p in plans]
+
+        with ExecutionContext(parallelism=4, morsel_rows=512, min_parallel_rows=0) as ctx:
+
+            def worker(i):
+                for q in range(N_QUERIES):
+                    k = (i + q) % len(plans)
+                    out = execute_plan(plans[k], catalog, context=ctx)
+                    want = expected[k]
+                    assert out.column_names == want.column_names
+                    for name in want.column_names:
+                        np.testing.assert_array_equal(out.column(name), want.column(name))
+
+            run_threads(worker)
+
+    def test_map_hammered_from_many_threads(self):
+        """ctx.map itself is safe under concurrent callers."""
+        with ExecutionContext(parallelism=3) as ctx:
+
+            def worker(i):
+                for q in range(50):
+                    items = list(range(i, i + 20))
+                    assert ctx.map(lambda x: x * 2, items) == [x * 2 for x in items]
+
+            run_threads(worker)
+
+
+class TestSessionConcurrency:
+    def test_parallel_session_concurrent_selects(self, catalog):
+        queries = {
+            "SELECT grp, SUM(val) AS s FROM events GROUP BY grp ORDER BY grp": None,
+            "SELECT eid FROM events WHERE val > 0.9 ORDER BY eid": None,
+            "SELECT COUNT(*) AS n FROM events WHERE grp = 7": None,
+        }
+        serial = SQLSession(catalog)
+        for sql in queries:
+            queries[sql] = serial.execute(sql)
+
+        with SQLSession(catalog, parallelism=4, morsel_rows=512) as session:
+
+            def worker(i):
+                for q, (sql, want) in enumerate(list(queries.items()) * 5):
+                    out = session.execute(sql)
+                    for name in want.column_names:
+                        np.testing.assert_array_equal(out.column(name), want.column(name))
+
+            run_threads(worker)

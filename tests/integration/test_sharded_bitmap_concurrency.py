@@ -3,7 +3,6 @@
 import threading
 
 import numpy as np
-import pytest
 
 from repro.bitmap import ShardedBitmap
 from repro.storage import ShardLockManager

@@ -10,6 +10,7 @@ from repro.sql.parser import (
     DeleteStatement,
     InsertStatement,
     SelectStatement,
+    SetStatement,
     UpdateStatement,
 )
 from repro.storage import Catalog, Table
@@ -164,6 +165,123 @@ class TestSelectExecution:
     def test_global_aggregate(self, session):
         out = session.execute("SELECT SUM(amount) AS total FROM orders")
         assert out.column("total")[0] == pytest.approx(145.0)
+
+
+class TestExplain:
+    def test_explain_renders_plan_nodes(self, session):
+        text = session.explain(
+            "SELECT uid FROM users WHERE age > 35 ORDER BY age DESC LIMIT 2"
+        )
+        assert "Scan(users" in text
+        assert "Sort" in text
+        assert "Limit(2)" in text
+
+    def test_explain_join_plan(self, session):
+        text = session.explain("SELECT uid, amount FROM users JOIN orders ON uid = uid_fk")
+        assert "Join[hash](uid=uid_fk)" in text
+        assert "Scan(orders" in text
+
+    def test_explain_without_optimizer_is_raw_plan(self, session):
+        assert session.optimizer is None
+        text = session.explain("SELECT DISTINCT age FROM users")
+        assert "Distinct" in text
+        assert "PatchScan" not in text
+
+    def test_explain_rejects_dml_without_optimizer(self, session):
+        with pytest.raises(ValueError):
+            session.explain("INSERT INTO users (uid, age, city) VALUES (99, 1, 'q')")
+        with pytest.raises(ValueError):
+            session.explain("UPDATE users SET age = 1")
+
+
+class TestPredicateRowids:
+    def test_no_predicate_returns_all_rowids(self, session):
+        table = session.catalog.table("users")
+        rowids = session._predicate_rowids(table, None)
+        assert rowids.tolist() == list(range(10))
+
+    def test_predicate_selects_matching_rowids(self, session):
+        table = session.catalog.table("users")
+        stmt = parse_statement("DELETE FROM users WHERE age > 35")
+        rowids = session._predicate_rowids(table, stmt.predicate)
+        assert rowids.dtype == np.int64
+        assert rowids.tolist() == [3, 7, 8]
+
+    def test_predicate_no_match_is_empty(self, session):
+        table = session.catalog.table("users")
+        stmt = parse_statement("DELETE FROM users WHERE age > 1000")
+        assert session._predicate_rowids(table, stmt.predicate).tolist() == []
+
+    def test_rowids_reflect_prior_deletes(self, session):
+        # positional rowIDs shift after a delete; the next statement's
+        # predicate must be evaluated against the post-delete image
+        session.execute("DELETE FROM users WHERE uid = 0")
+        table = session.catalog.table("users")
+        stmt = parse_statement("DELETE FROM users WHERE age = 25")
+        assert session._predicate_rowids(table, stmt.predicate).tolist() == [0, 3]
+
+
+class TestSetParallelism:
+    def test_set_statement_parsed(self):
+        stmt = parse_statement("SET parallelism = 4")
+        assert isinstance(stmt, SetStatement)
+        assert stmt.name == "parallelism"
+        assert stmt.value == 4
+
+    def test_set_parallelism_roundtrip(self, session):
+        assert session.parallelism == 1
+        assert session.execute("SET parallelism = 3") == 3
+        assert session.parallelism == 3
+        assert session.execute("SET parallelism = 1") == 1
+        assert session.parallelism == 1
+
+    def test_constructor_knob_and_identical_results(self):
+        users = Table.from_arrays(
+            "users",
+            {
+                "uid": np.arange(50_000, dtype=np.int64),
+                "age": np.tile(np.arange(20, 70), 1000).astype(np.int64),
+            },
+        )
+        catalog = Catalog()
+        catalog.register(users)
+        serial = SQLSession(catalog)
+        sql = "SELECT age, COUNT(*) AS n FROM users WHERE age > 30 GROUP BY age ORDER BY age"
+        want = serial.execute(sql)
+        with SQLSession(catalog, parallelism=3, morsel_rows=4096) as par:
+            assert par.parallelism == 3
+            out = par.execute(sql)
+        for name in want.column_names:
+            np.testing.assert_array_equal(out.column(name), want.column(name))
+
+    def test_set_parallelism_midstream(self, session):
+        before = session.execute("SELECT uid FROM users ORDER BY uid")
+        session.execute("SET parallelism = 2")
+        after = session.execute("SELECT uid FROM users ORDER BY uid")
+        np.testing.assert_array_equal(before.column("uid"), after.column("uid"))
+        session.close()
+
+    def test_invalid_parallelism_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.execute("SET parallelism = 0")
+
+    def test_unknown_setting_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.execute("SET frobnication = 7")
+
+    def test_updates_cost_model_parallelism(self):
+        n = 3000
+        values = np.arange(n, dtype=np.int64)
+        t = Table.from_arrays("events", {"eid": np.arange(n), "val": values})
+        catalog = Catalog()
+        catalog.register(t)
+        mgr = PatchIndexManager(catalog)
+        mgr.create(t, "val", NearlyUniqueColumn())
+        session = SQLSession(catalog, index_manager=mgr)
+        session.execute("SET parallelism = 4")
+        assert session.optimizer.cost_model.parallelism == 4
+        session.execute("SET parallelism = 1")
+        assert session.optimizer.cost_model.parallelism == 1
 
 
 class TestDMLExecution:

@@ -40,7 +40,9 @@ class TestSchema:
 
 class TestTableBasics:
     def test_from_arrays_infers_types(self):
-        t = Table.from_arrays("t", {"x": np.array([1.5, 2.5]), "s": np.array(["a", "b"], dtype=object)})
+        t = Table.from_arrays(
+            "t", {"x": np.array([1.5, 2.5]), "s": np.array(["a", "b"], dtype=object)}
+        )
         assert t.schema.field("x").type is ColumnType.FLOAT64
         assert t.schema.field("s").type is ColumnType.STRING
 

@@ -137,7 +137,9 @@ class TestPatchIndexPlans:
         mgr.create(tpch.lineitem, "l_orderkey", NearlySortedColumn())
         assert mgr.get("lineitem", "l_orderkey").num_patches == 0
         reference = execute_plan(q3_plan(), cat)
-        opt = Optimizer(cat, mgr, zero_branch_pruning=True, use_cost_model=False).optimize(q3_plan())
+        opt = Optimizer(
+            cat, mgr, zero_branch_pruning=True, use_cost_model=False
+        ).optimize(q3_plan())
         text = opt.explain()
         assert "use_patches" not in text
         result = execute_plan(opt, cat)
