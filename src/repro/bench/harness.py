@@ -16,6 +16,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 __all__ = [
     "time_fn",
     "time_serial_vs_parallel",
+    "time_dml_serial_vs_parallel",
     "format_table",
     "write_report",
     "results_dir",
@@ -56,6 +57,43 @@ def time_serial_vs_parallel(
     with ExecutionContext(parallelism=parallelism, **context_kwargs) as context:
         parallel = time_fn(lambda: fn(context), repeats=repeats, warmup=warmup)
     return serial, parallel
+
+
+def time_dml_serial_vs_parallel(
+    setup: Callable[[int], object],
+    run: Callable[[object], object],
+    parallelism: int = 4,
+    repeats: int = 3,
+    warmup: int = 1,
+    teardown: Optional[Callable[[object], object]] = None,
+) -> Tuple[float, float]:
+    """Time a *mutating* workload under serial and parallel execution.
+
+    DML consumes its input, so unlike :func:`time_serial_vs_parallel`
+    every sample gets fresh state: ``setup(parallelism)`` builds the
+    workload state (tables, sessions, bitmaps — untimed, with the worker
+    count already configured, e.g. ``SQLSession(catalog, parallelism=n)``)
+    and ``run(state)`` executes the DML statements (timed).
+    ``teardown(state)`` releases the state after each sample — untimed,
+    so worker-pool shutdown never skews the parallel measurement.
+    Returns ``(serial_seconds, parallel_seconds)`` medians.
+    """
+
+    def timed(workers: int) -> float:
+        samples = []
+        for i in range(warmup + repeats):
+            state = setup(workers)
+            start = time.perf_counter()
+            run(state)
+            elapsed = time.perf_counter() - start
+            if teardown is not None:
+                teardown(state)
+            if i >= warmup:
+                samples.append(elapsed)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    return timed(1), timed(parallelism)
 
 
 def format_table(

@@ -15,6 +15,6 @@ Two designs are provided:
 
 from repro.bitmap.plain import PlainBitmap
 from repro.bitmap.sharded import ShardedBitmap
-from repro.bitmap.parallel import ParallelBulkDeleter
+from repro.bitmap.parallel import ParallelBulkDeleter, ShardTaskPool
 
-__all__ = ["PlainBitmap", "ShardedBitmap", "ParallelBulkDeleter"]
+__all__ = ["PlainBitmap", "ShardedBitmap", "ParallelBulkDeleter", "ShardTaskPool"]

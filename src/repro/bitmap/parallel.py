@@ -1,21 +1,32 @@
-"""Parallel bulk delete over sharded bitmaps (paper §4.2.3, Figure 4).
+"""Parallel shard-local work on sharded bitmaps (paper §4.2.3/§4.2.4).
 
-Shard-local shifts are independent by construction — a delete never moves
-bits across a shard boundary — so the per-shard work of a bulk delete can
-run concurrently.  The paper spawns a thread per shard that contains
-positions to delete; we use a shared :class:`~concurrent.futures.
-ThreadPoolExecutor` (numpy kernels release the GIL for the heavy slices,
-and a pool avoids per-operation thread-start cost).
+Shard-local work on a :class:`~repro.bitmap.sharded.ShardedBitmap` is
+independent by construction — a delete never moves bits across a shard
+boundary, and the condense repack fills each post-condense shard from a
+disjoint logical bit range — so it can run concurrently.  The paper
+spawns a thread per shard; we use a shared
+:class:`~concurrent.futures.ThreadPoolExecutor` (numpy kernels release
+the GIL for the heavy slices, and a pool avoids per-operation
+thread-start cost).
 
-The final start-value adjustment stays sequential: it is a single array
-traversal with a running sum and is performed by the caller
-(:meth:`repro.bitmap.sharded.ShardedBitmap.bulk_delete`).
+:class:`ShardTaskPool` owns that pool plumbing: lazy creation, an inline
+fallback below a task-count threshold (the left side of the paper's
+Figure 6 U-curve, where dispatch overhead dominates), and first-exception
+propagation.  :class:`ParallelBulkDeleter` specializes it for the
+shard-local phase of a bulk delete (§4.2.3, Figure 4); the same pool
+doubles as the executor of a parallel :meth:`~repro.bitmap.sharded.
+ShardedBitmap.condense` (§4.2.4).
+
+The sequential epilogues stay with the caller: bulk delete's start-value
+adjustment is a single array traversal with a running sum, and condense's
+metadata reset is three array assignments.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor, wait
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,22 +34,21 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bitmap.sharded import ShardedBitmap
 
-__all__ = ["ParallelBulkDeleter"]
+__all__ = ["ShardTaskPool", "ParallelBulkDeleter"]
 
 ShiftKernel = Callable[[np.ndarray, int, int], None]
 
 
-class ParallelBulkDeleter:
-    """Executes the shard-local phase of a bulk delete on a thread pool.
+class ShardTaskPool:
+    """Thread pool for independent shard-local tasks.
 
     Parameters
     ----------
     max_workers:
         Number of worker threads; defaults to the CPU count.
     min_shards_for_parallelism:
-        Below this many affected shards the pool overhead outweighs any
-        benefit (the left side of the paper's Figure 6 U-curve), so the
-        work runs inline.
+        Below this many tasks the pool overhead outweighs any benefit,
+        so the work runs inline on the calling thread.
     """
 
     def __init__(
@@ -50,27 +60,34 @@ class ParallelBulkDeleter:
         self._min_shards = min_shards_for_parallelism
         self._pool: Optional[ThreadPoolExecutor] = None
 
+    @property
+    def max_workers(self) -> int:
+        """Configured worker-thread count."""
+        return self._max_workers
+
+    @property
+    def min_shards_for_parallelism(self) -> int:
+        """Task count below which work runs inline."""
+        return self._min_shards
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
-    def run(
-        self,
-        bitmap: "ShardedBitmap",
-        tasks: Sequence[Tuple[int, np.ndarray]],
-        kernel: ShiftKernel,
-    ) -> None:
-        """Run ``(shard, descending offsets)`` tasks, possibly in parallel."""
+    def run_tasks(self, tasks: Sequence[Callable[[], None]]) -> None:
+        """Run zero-arg callables, inline below the task threshold.
+
+        Tasks must be mutually independent (disjoint writes); the first
+        worker exception propagates to the caller after all tasks have
+        settled.
+        """
         if len(tasks) < self._min_shards:
-            for shard, offs_desc in tasks:
-                bitmap._delete_within_shard(shard, offs_desc, kernel)
+            for task in tasks:
+                task()
             return
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(bitmap._delete_within_shard, shard, offs_desc, kernel)
-            for shard, offs_desc in tasks
-        ]
+        futures = [pool.submit(task) for task in tasks]
         done, _ = wait(futures)
         for fut in done:
             exc = fut.exception()
@@ -83,8 +100,35 @@ class ParallelBulkDeleter:
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def __enter__(self) -> "ParallelBulkDeleter":
+    def __enter__(self) -> "ShardTaskPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class ParallelBulkDeleter(ShardTaskPool):
+    """Executes the shard-local phase of a bulk delete on the pool.
+
+    Also serves as the condense executor of the bitmaps it is attached
+    to (see :meth:`repro.bitmap.sharded.ShardedBitmap.condense`): delete
+    and condense never overlap on one bitmap, so sharing the pool is
+    free.
+    """
+
+    def run(
+        self,
+        bitmap: "ShardedBitmap",
+        tasks: Sequence[Tuple[int, np.ndarray]],
+        kernel: ShiftKernel,
+    ) -> None:
+        """Run ``(shard, descending offsets)`` tasks, possibly in parallel."""
+        self.run_tasks(
+            [
+                partial(bitmap._delete_within_shard, shard, offs_desc, kernel)
+                for shard, offs_desc in tasks
+            ]
+        )
+
+    def __enter__(self) -> "ParallelBulkDeleter":
+        return self

@@ -18,12 +18,16 @@ Memory overhead of sharding is one 64-bit start value per shard, i.e.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
 from repro.bitmap import kernels
 from repro.bitmap.kernels import WORD_BITS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bitmap.parallel import ShardTaskPool
 
 __all__ = ["ShardedBitmap", "DEFAULT_SHARD_BITS"]
 
@@ -45,8 +49,13 @@ class ShardedBitmap:
         two allow the fast initial shard guess of §4.2.1.
     condense_threshold:
         If not ``None``, :meth:`bulk_delete` and :meth:`delete` trigger an
-        automatic :meth:`condense` once the fraction of lost bits exceeds
-        this threshold.
+        automatic :meth:`condense` once the fraction of lost bits
+        strictly exceeds this threshold (lost bits *at* the threshold do
+        not condense).
+    condense_executor:
+        Optional :class:`~repro.bitmap.parallel.ShardTaskPool` used by
+        :meth:`condense` (including auto-condense) to repack shards in
+        parallel; ``None`` keeps condense serial.
     """
 
     def __init__(
@@ -54,6 +63,7 @@ class ShardedBitmap:
         length: int = 0,
         shard_bits: int = DEFAULT_SHARD_BITS,
         condense_threshold: Optional[float] = None,
+        condense_executor: Optional["ShardTaskPool"] = None,
     ) -> None:
         if length < 0:
             raise ValueError("bitmap length must be non-negative")
@@ -65,6 +75,7 @@ class ShardedBitmap:
         self._words_per_shard = shard_bits // WORD_BITS
         self._length = length
         self._condense_threshold = condense_threshold
+        self.condense_executor = condense_executor
         nshards = max(1, (length + shard_bits - 1) // shard_bits)
         self._words = np.zeros(nshards * self._words_per_shard, dtype=np.uint64)
         self._starts = (np.arange(nshards, dtype=np.int64) * shard_bits)
@@ -79,19 +90,35 @@ class ShardedBitmap:
         positions: Iterable[int],
         length: int,
         shard_bits: int = DEFAULT_SHARD_BITS,
+        condense_threshold: Optional[float] = None,
+        condense_executor: Optional["ShardTaskPool"] = None,
     ) -> "ShardedBitmap":
         """Build a bitmap of ``length`` bits with the given positions set."""
-        bm = cls(length, shard_bits=shard_bits)
+        bm = cls(
+            length,
+            shard_bits=shard_bits,
+            condense_threshold=condense_threshold,
+            condense_executor=condense_executor,
+        )
         bm.set_many(positions)
         return bm
 
     @classmethod
     def from_bool_array(
-        cls, bits: np.ndarray, shard_bits: int = DEFAULT_SHARD_BITS
+        cls,
+        bits: np.ndarray,
+        shard_bits: int = DEFAULT_SHARD_BITS,
+        condense_threshold: Optional[float] = None,
+        condense_executor: Optional["ShardTaskPool"] = None,
     ) -> "ShardedBitmap":
         """Build a bitmap from a boolean mask."""
         bits = np.asarray(bits, dtype=bool)
-        bm = cls(len(bits), shard_bits=shard_bits)
+        bm = cls(
+            len(bits),
+            shard_bits=shard_bits,
+            condense_threshold=condense_threshold,
+            condense_executor=condense_executor,
+        )
         bm.set_many(np.flatnonzero(bits))
         return bm
 
@@ -314,22 +341,81 @@ class ShardedBitmap:
         capacity = len(self._starts) * self._shard_bits
         return self._length / capacity if capacity else 1.0
 
-    def condense(self) -> None:
+    def condense(self, executor: Optional["ShardTaskPool"] = None) -> None:
         """Repack the bitmap so every shard is full again.
 
         Shifts data across shard boundaries into the bits lost by previous
-        delete operations and resets the start values (one traversal over
-        the bitmap, realized here as an unpack/repack of the live bits).
+        delete operations and resets the start values.  Each post-condense
+        shard is filled from a disjoint logical bit range of the old
+        layout, so the repack is shard-local and independent: with an
+        ``executor`` (or an attached :attr:`condense_executor`) the
+        per-shard repacks run on its worker pool, falling back to the
+        serial single-pass unpack/repack for small bitmaps.  Both paths
+        produce bit-identical words, start values and lost counters.
         """
-        bits = self.to_bool_array()
+        if executor is None:
+            executor = self.condense_executor
         shard_bits = self._shard_bits
         nshards = max(1, (self._length + shard_bits - 1) // shard_bits)
-        packed = kernels.bool_to_words(bits)
         words = np.zeros(nshards * self._words_per_shard, dtype=np.uint64)
-        words[: len(packed)] = packed
+        if executor is None or nshards < executor.min_shards_for_parallelism:
+            self._repack_shard_range(words, 0, nshards)
+        else:
+            # contiguous shard runs per task: enough tasks to balance,
+            # few enough that dispatch overhead stays negligible
+            ntasks = min(nshards, executor.max_workers * 4)
+            bounds = [nshards * t // ntasks for t in range(ntasks + 1)]
+            executor.run_tasks(
+                [
+                    partial(self._repack_shard_range, words, first, last)
+                    for first, last in zip(bounds, bounds[1:])
+                    if last > first
+                ]
+            )
         self._words = words
         self._starts = np.arange(nshards, dtype=np.int64) * shard_bits
         self._lost = np.zeros(nshards, dtype=np.int64)
+
+    def _repack_shard_range(
+        self, new_words: np.ndarray, first_shard: int, last_shard: int
+    ) -> None:
+        """Fill post-condense shards ``[first, last)`` from the old layout.
+
+        Post-condense shards are full and contiguous, and shard size is a
+        word multiple, so one pack of the run's logical bit range lands
+        word-aligned at the run's base.  Reads only pre-condense state
+        and writes only the run's own word slice, so concurrent repacks
+        never conflict.
+        """
+        lo = first_shard * self._shard_bits
+        hi = min(last_shard * self._shard_bits, self._length)
+        if hi <= lo:
+            return
+        packed = kernels.bool_to_words(self._logical_bool_range(lo, hi))
+        base = first_shard * self._words_per_shard
+        new_words[base : base + len(packed)] = packed
+
+    def _logical_bool_range(self, lo: int, hi: int) -> np.ndarray:
+        """The logical bits ``[lo, hi)`` as a boolean array."""
+        out = np.zeros(max(0, hi - lo), dtype=bool)
+        if hi <= lo:
+            return out
+        shard = self._locate(lo)
+        cursor = lo
+        while cursor < hi:
+            nbits = self._shard_bit_count(shard)
+            local = cursor - int(self._starts[shard])
+            take = min(hi - cursor, nbits - local)
+            if take <= 0:
+                shard += 1
+                continue
+            words = self._shard_words(shard)
+            out[cursor - lo : cursor - lo + take] = kernels.words_to_bool(
+                words, local + take
+            )[local:]
+            cursor += take
+            shard += 1
+        return out
 
     def _maybe_condense(self) -> None:
         if self._condense_threshold is None:
@@ -343,16 +429,7 @@ class ShardedBitmap:
     # ------------------------------------------------------------------
     def to_bool_array(self) -> np.ndarray:
         """Return the logical bitmap as a boolean numpy array."""
-        out = np.zeros(self._length, dtype=bool)
-        cursor = 0
-        for shard in range(len(self._starts)):
-            nbits = self._shard_bit_count(shard)
-            if nbits <= 0:
-                continue
-            words = self._shard_words(shard)
-            out[cursor : cursor + nbits] = kernels.words_to_bool(words, nbits)
-            cursor += nbits
-        return out
+        return self._logical_bool_range(0, self._length)
 
     def positions(self) -> np.ndarray:
         """Return the sorted logical positions of all set bits."""

@@ -14,8 +14,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.bitmap import ParallelBulkDeleter
 from repro.bitmap.sharded import DEFAULT_SHARD_BITS
 from repro.core.constraints import Constraint
+from repro.engine.parallel import validate_parallelism
 from repro.core.patchindex import BITMAP_DESIGN, PatchIndex
 from repro.core.updates import apply_update
 from repro.storage.catalog import Catalog
@@ -68,9 +70,16 @@ class PartitionedPatchIndex:
     mask aligns with the global rowIDs a partitioned Scan emits.
     """
 
-    def __init__(self, table: PartitionedTable, parts: List[MaintainedIndex]) -> None:
+    def __init__(
+        self,
+        table: PartitionedTable,
+        parts: List[MaintainedIndex],
+        pool: Optional[ParallelBulkDeleter] = None,
+    ) -> None:
         self.table = table
         self.parts = parts
+        #: delete+condense pool shared by every partition-local index
+        self._pool = pool
 
     @property
     def column(self) -> str:
@@ -110,12 +119,20 @@ class PartitionedPatchIndex:
     def memory_bytes(self) -> int:
         return sum(p.index.memory_bytes() for p in self.parts)
 
+    def condense(self) -> None:
+        """Condense every partition-local index (§4.2.4)."""
+        for p in self.parts:
+            p.index.condense()
+
     def verify(self) -> bool:
         return all(p.index.verify() for p in self.parts)
 
     def detach(self) -> None:
         for p in self.parts:
             p.detach()
+            p.index.close()  # releases partition-owned pools (no-op for shared)
+        if self._pool is not None:
+            self._pool.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -139,6 +156,8 @@ class PatchIndexManager:
         design: str = BITMAP_DESIGN,
         shard_bits: int = DEFAULT_SHARD_BITS,
         parallel_deletes: bool = False,
+        parallelism: int = 1,
+        condense_threshold: Optional[float] = None,
         dynamic_range_propagation: bool = True,
         recompute_threshold: Optional[float] = None,
     ):
@@ -148,17 +167,31 @@ class PatchIndexManager:
         (partition-local discovery, §3.2) and returns the combined
         :class:`PartitionedPatchIndex`; otherwise the bare
         :class:`~repro.core.patchindex.PatchIndex` is returned.
+        ``parallelism`` and ``condense_threshold`` configure the
+        maintenance pool and auto-condense of every created index (the
+        same knob semantics as :class:`~repro.core.patchindex.PatchIndex`).
         """
         key = (table.name, column)
         if key in self._indexes:
             raise ValueError(f"PatchIndex on {table.name}.{column} already exists")
+        validate_parallelism(parallelism)
         if isinstance(table, PartitionedTable):
+            # one delete+condense pool shared by all partition-local
+            # indexes — parallelism bounds the table's worker threads,
+            # not each partition's
+            pool = (
+                ParallelBulkDeleter(max_workers=parallelism)
+                if parallelism > 1
+                else None
+            )
             parts = [
                 MaintainedIndex(
                     PatchIndex(
                         part, column, _clone_constraint(constraint),
                         design=design, shard_bits=shard_bits,
                         parallel_deletes=parallel_deletes,
+                        condense_threshold=condense_threshold,
+                        maintenance_pool=pool,
                     ),
                     part,
                     dynamic_range_propagation=dynamic_range_propagation,
@@ -166,13 +199,15 @@ class PatchIndexManager:
                 )
                 for part in table.partitions
             ]
-            handle: object = PartitionedPatchIndex(table, parts)
+            handle: object = PartitionedPatchIndex(table, parts, pool=pool)
         else:
             maintained = MaintainedIndex(
                 PatchIndex(
                     table, column, constraint,
                     design=design, shard_bits=shard_bits,
                     parallel_deletes=parallel_deletes,
+                    parallelism=parallelism,
+                    condense_threshold=condense_threshold,
                 ),
                 table,
                 dynamic_range_propagation=dynamic_range_propagation,
@@ -251,11 +286,15 @@ class _SingleIndexHandle:
     def memory_bytes(self) -> int:
         return self._maintained.index.memory_bytes()
 
+    def condense(self) -> None:
+        self._maintained.index.condense()
+
     def verify(self) -> bool:
         return self._maintained.index.verify()
 
     def detach(self) -> None:
         self._maintained.detach()
+        self._maintained.index.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return repr(self._maintained.index)

@@ -15,8 +15,17 @@ bitmap on-the-fly with the dataflow.
 """
 
 from repro.engine.batch import Relation
-from repro.engine.expressions import BinaryExpr, ColumnRef, Expression, Literal, col, lit, where
-from repro.engine.parallel import ExecutionContext
+from repro.engine.expressions import (
+    BinaryExpr,
+    ColumnRef,
+    Expression,
+    Literal,
+    col,
+    expression_columns,
+    lit,
+    where,
+)
+from repro.engine.parallel import ExecutionContext, validate_parallelism
 from repro.engine.operators import (
     Distinct,
     Filter,
@@ -39,7 +48,9 @@ from repro.engine.operators import (
 __all__ = [
     "Relation",
     "ExecutionContext",
+    "validate_parallelism",
     "Expression",
+    "expression_columns",
     "ColumnRef",
     "Literal",
     "BinaryExpr",

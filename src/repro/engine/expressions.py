@@ -19,6 +19,7 @@ __all__ = [
     "col",
     "lit",
     "where",
+    "expression_columns",
 ]
 
 

@@ -32,6 +32,7 @@ implementation.
 from __future__ import annotations
 
 import dataclasses
+import operator
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +45,7 @@ __all__ = [
     "Morsel",
     "row_chunks",
     "table_morsels",
+    "validate_parallelism",
 ]
 
 #: Rows per morsel; large enough that numpy kernel time dominates the
@@ -56,6 +58,27 @@ DEFAULT_MIN_PARALLEL_ROWS = 16_384
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def validate_parallelism(value: object, name: str = "parallelism") -> int:
+    """Validate a worker-count knob, returning it as a plain int.
+
+    Shared by every surface that accepts a parallelism setting (the
+    ``SET parallelism`` statement, session/context constructors and
+    PatchIndex maintenance): the value must be a positive integer.
+    Floats, bools and strings are rejected with a :class:`TypeError`,
+    zero and negatives with a :class:`ValueError`, instead of surfacing
+    later as worker-pool misbehavior.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    try:
+        parallelism = operator.index(value)
+    except TypeError:
+        raise TypeError(f"{name} must be an integer, got {value!r}") from None
+    if parallelism < 1:
+        raise ValueError(f"{name} must be a positive integer, got {parallelism}")
+    return int(parallelism)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -133,11 +156,10 @@ class ExecutionContext:
     ) -> None:
         if parallelism is None:
             parallelism = os.cpu_count() or 1
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
+        parallelism = validate_parallelism(parallelism)
         if morsel_rows < 1:
             raise ValueError("morsel_rows must be >= 1")
-        self._parallelism = int(parallelism)
+        self._parallelism = parallelism
         self.morsel_rows = int(morsel_rows)
         self.min_parallel_rows = int(min_parallel_rows)
         self._pool: Optional[ThreadPoolExecutor] = None

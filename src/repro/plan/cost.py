@@ -50,12 +50,21 @@ class CostModel:
     COST_AGGREGATE = 3.0
     COST_UNION = 0.05
     COST_MERGE_COMBINE = 0.5
+    #: Per-tuple cost of applying a modify/delete to storage (serial:
+    #: positional deltas are order-sensitive, so writes never fan out).
+    COST_DML_WRITE = 0.5
     #: Fixed cost of dispatching work to one parallel worker.
     COST_WORKER_DISPATCH = 10.0
 
-    def __init__(self, catalog: Catalog, parallelism: int = 1) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    ) -> None:
         self.catalog = catalog
         self.parallelism = max(1, int(parallelism))
+        self.morsel_rows = max(1, int(morsel_rows))
 
     def cost(self, node: nodes.PlanNode) -> float:
         """Total estimated cost of a plan subtree."""
@@ -70,10 +79,57 @@ class CostModel:
         """
         if self.parallelism <= 1 or rows <= 0:
             return cost_units
-        workers = min(float(self.parallelism), rows / DEFAULT_MORSEL_ROWS)
+        workers = min(float(self.parallelism), rows / self.morsel_rows)
         if workers <= 1.0:
             return cost_units
         return cost_units / workers + self.COST_WORKER_DISPATCH * workers
+
+    def _dml_scan_units(self, num_rows: float, num_predicate_columns: int) -> float:
+        """Serial cost units of an UPDATE/DELETE predicate scan."""
+        rows = float(num_rows)
+        return (
+            self.COST_SCAN * rows * max(1, num_predicate_columns)
+            + self.COST_FILTER * rows
+        )
+
+    def dml_scan_cost(self, num_rows: float, num_predicate_columns: int = 1) -> float:
+        """Cost of an UPDATE/DELETE predicate scan.
+
+        The scan reads only the columns the predicate references and is
+        data-parallel (the session evaluates it per morsel), so it
+        scales with the worker count exactly like a SELECT scan+filter.
+        """
+        units = self._dml_scan_units(num_rows, num_predicate_columns)
+        return self._parallel(units, float(num_rows))
+
+    def dml_cost(
+        self,
+        num_rows: float,
+        matched_rows: float,
+        num_predicate_columns: int = 1,
+    ) -> float:
+        """Total cost of one UPDATE/DELETE statement.
+
+        Predicate scan (parallel) plus the per-matched-tuple write,
+        which stays serial: positional delta maintenance is
+        order-sensitive.
+        """
+        return (
+            self.dml_scan_cost(num_rows, num_predicate_columns)
+            + self.COST_DML_WRITE * float(matched_rows)
+        )
+
+    def dml_parallel_payoff(self, num_rows: float, num_predicate_columns: int = 1) -> bool:
+        """Whether the parallel DML scan undercuts the serial scan.
+
+        The session consults this before fanning a predicate scan out to
+        the worker pool: dispatch overhead must be amortized by the
+        per-worker cost reduction, otherwise the statement stays serial.
+        """
+        if self.parallelism <= 1:
+            return False
+        units = self._dml_scan_units(num_rows, num_predicate_columns)
+        return self._parallel(units, float(num_rows)) < units
 
     def _local_cost(self, node: nodes.PlanNode) -> float:
         rows = estimate_rows(node, self.catalog)

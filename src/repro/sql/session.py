@@ -6,8 +6,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.engine.batch import Relation
-from repro.engine.parallel import DEFAULT_MORSEL_ROWS, ExecutionContext
+from repro.engine.batch import ROWID, Relation
+from repro.engine.expressions import expression_columns
+from repro.engine.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ExecutionContext,
+    row_chunks,
+    validate_parallelism,
+)
+from repro.plan.cost import CostModel
 from repro.plan.executor import execute_plan
 from repro.plan.optimizer import Optimizer
 from repro.sql.parser import (
@@ -37,10 +44,11 @@ class SQLSession:
     zero_branch_pruning / use_cost_model:
         Forwarded to the optimizer.
     parallelism:
-        Worker count for morsel-parallel SELECT execution; ``1`` (the
-        default) runs serially.  Also settable per session via the SQL
-        statement ``SET parallelism = N``.  Parallel results are
-        bit-identical to serial execution.
+        Worker count for morsel-parallel execution of SELECT statements
+        and UPDATE/DELETE predicate scans; ``1`` (the default) runs
+        serially.  Also settable per session via the SQL statement
+        ``SET parallelism = N``.  Parallel results are bit-identical to
+        serial execution.
     morsel_rows:
         Rows per parallel work unit (see :mod:`repro.engine.parallel`).
     """
@@ -81,11 +89,11 @@ class SQLSession:
 
         Replaces the execution context (shutting the old worker pool
         down) and updates the optimizer's cost model so plan decisions
-        reflect the new worker count.
+        reflect the new worker count.  The worker count covers SELECT
+        and DML alike: UPDATE/DELETE predicate scans run morsel-parallel
+        on the same context.  Rejects non-integers and values below 1.
         """
-        parallelism = int(parallelism)
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
+        parallelism = validate_parallelism(parallelism)
         old, self._context = self._context, None
         if old is not None:
             old.close()
@@ -93,6 +101,11 @@ class SQLSession:
             self._context = ExecutionContext(
                 parallelism=parallelism, morsel_rows=self._morsel_rows
             )
+        #: costs the DML predicate scan at the session's morsel size
+        #: (the optimizer's model keeps the plan-level default)
+        self._dml_cost_model = CostModel(
+            self.catalog, parallelism=parallelism, morsel_rows=self._morsel_rows
+        )
         if self.optimizer is not None:
             self.optimizer.cost_model.parallelism = parallelism
 
@@ -145,7 +158,7 @@ class SQLSession:
     def _run_set(self, stmt: SetStatement) -> int:
         name = stmt.name.lower()
         if name == "parallelism":
-            self.set_parallelism(int(stmt.value))
+            self.set_parallelism(stmt.value)
             return self.parallelism
         raise ValueError(f"unknown session setting {stmt.name!r}")
 
@@ -168,10 +181,41 @@ class SQLSession:
         return len(stmt.rows)
 
     def _predicate_rowids(self, table, predicate) -> np.ndarray:
+        """RowIDs of the tuples matching a DML predicate.
+
+        Only the columns the predicate references are materialized —
+        untouched columns never leave storage.  With an active execution
+        context — and when the cost model says the fan-out pays for its
+        dispatch overhead — the predicate is evaluated per morsel on the
+        shared worker pool and the per-morsel rowid arrays are
+        concatenated in morsel order, so the result is bit-identical to
+        the serial scan.
+        """
         if predicate is None:
             return table.rowids()
-        rel = Relation(table.columns())
-        mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+        referenced = sorted(expression_columns(predicate))
+        for name in referenced:
+            table.schema.field(name)  # unknown columns fail before any scan
+        if not referenced:
+            # column-free predicate (e.g. WHERE 1 = 0): broadcast over
+            # the rowid domain without touching any stored column
+            rel = Relation({ROWID: table.rowids()})
+            mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+            return np.flatnonzero(mask).astype(np.int64)
+        arrays = table.columns(referenced)
+        num_rows = table.num_rows
+        ctx = self._context
+        if ctx is not None and ctx.active:
+            chunks = row_chunks(num_rows, ctx.morsel_rows)
+            if ctx.should_parallelize(num_rows, len(chunks)) and (
+                self._dml_cost_model.dml_parallel_payoff(num_rows, len(referenced))
+            ):
+                pieces = ctx.map(
+                    lambda chunk: _morsel_predicate_rowids(arrays, predicate, chunk),
+                    chunks,
+                )
+                return np.concatenate(pieces)
+        mask = np.asarray(predicate.evaluate(Relation(arrays)), dtype=bool)
         return np.flatnonzero(mask).astype(np.int64)
 
     def _run_update(self, stmt: UpdateStatement) -> int:
@@ -179,7 +223,14 @@ class SQLSession:
         rowids = self._predicate_rowids(table, stmt.predicate)
         if len(rowids) == 0:
             return 0
-        rel = Relation(table.columns()).take(rowids)
+        referenced = set()
+        for expr in stmt.assignments.values():
+            referenced |= expression_columns(expr)
+        if referenced:
+            rel = Relation(table.columns(sorted(referenced))).take(rowids)
+        else:
+            # literal-only assignments: broadcast over the matched rows
+            rel = Relation({ROWID: rowids})
         new_values = {
             column: np.asarray(expr.evaluate(rel))
             for column, expr in stmt.assignments.items()
@@ -194,3 +245,16 @@ class SQLSession:
             return 0
         table.delete(rowids)
         return len(rowids)
+
+
+def _morsel_predicate_rowids(arrays, predicate, chunk) -> np.ndarray:
+    """Matching rowids of one morsel (global rowid space).
+
+    ``arrays`` are whole-table column views materialized once on the
+    calling thread; the morsel task only slices them (zero-copy) and
+    runs the vectorized predicate kernels, which release the GIL.
+    """
+    start, stop = chunk
+    rel = Relation({name: arr[start:stop] for name, arr in arrays.items()})
+    mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+    return np.flatnonzero(mask).astype(np.int64) + start

@@ -1,0 +1,266 @@
+"""Parallel condense (§4.2.4): equivalence, edge cases, knob plumbing.
+
+The parallel condense path repacks each post-condense shard from a
+disjoint logical bit range on a :class:`~repro.bitmap.parallel.
+ShardTaskPool`; this suite pins that it is bit-identical to the serial
+single-pass repack (words, start values and lost counters compared
+exactly), covers the condense edge cases, and checks the factory /
+PatchIndex knob forwarding that enables auto-condense in the first
+place.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap import ParallelBulkDeleter, ShardedBitmap, ShardTaskPool
+from repro.core import NearlySortedColumn, PatchIndex
+
+SMALL_SHARD = 128  # bits; small enough that tests span many shards
+
+
+def assert_bitmaps_identical(a: ShardedBitmap, b: ShardedBitmap) -> None:
+    assert len(a) == len(b)
+    assert a.num_shards == b.num_shards
+    np.testing.assert_array_equal(a._words, b._words)
+    np.testing.assert_array_equal(a._starts, b._starts)
+    np.testing.assert_array_equal(a._lost, b._lost)
+    np.testing.assert_array_equal(a.to_bool_array(), b.to_bool_array())
+
+
+def build_pair(bits: np.ndarray) -> tuple:
+    return (
+        ShardedBitmap.from_bool_array(bits, shard_bits=SMALL_SHARD),
+        ShardedBitmap.from_bool_array(bits, shard_bits=SMALL_SHARD),
+    )
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_randomized_workloads(self, workers):
+        rng = np.random.default_rng(workers)
+        for _ in range(8):
+            n = int(rng.integers(1, 40 * SMALL_SHARD))
+            bits = rng.random(n) < rng.random()
+            serial, parallel = build_pair(bits)
+            for _ in range(int(rng.integers(1, 4))):
+                if len(serial) < 2:
+                    break
+                k = int(rng.integers(1, max(2, len(serial) // 4)))
+                dels = np.sort(rng.choice(len(serial), size=k, replace=False))
+                serial.bulk_delete(dels)
+                parallel.bulk_delete(dels)
+            serial.condense()
+            with ShardTaskPool(max_workers=workers) as pool:
+                parallel.condense(executor=pool)
+            assert_bitmaps_identical(serial, parallel)
+
+    def test_single_bit_deletes_then_condense(self):
+        bits = np.ones(5 * SMALL_SHARD, dtype=bool)
+        serial, parallel = build_pair(bits)
+        for pos in [0, SMALL_SHARD - 1, SMALL_SHARD, 3 * SMALL_SHARD + 7]:
+            serial.delete(pos)
+            parallel.delete(pos)
+        serial.condense()
+        with ShardTaskPool(max_workers=4) as pool:
+            parallel.condense(executor=pool)
+        assert_bitmaps_identical(serial, parallel)
+
+    def test_attached_executor_used_by_condense(self):
+        rng = np.random.default_rng(7)
+        bits = rng.random(10 * SMALL_SHARD) < 0.5
+        serial = ShardedBitmap.from_bool_array(bits, shard_bits=SMALL_SHARD)
+        with ShardTaskPool(max_workers=4) as pool:
+            parallel = ShardedBitmap.from_bool_array(
+                bits, shard_bits=SMALL_SHARD, condense_executor=pool
+            )
+            dels = np.arange(0, 4 * SMALL_SHARD, 3, dtype=np.int64)
+            serial.bulk_delete(dels)
+            parallel.bulk_delete(dels)
+            serial.condense()
+            parallel.condense()  # picks the attached pool up
+            assert_bitmaps_identical(serial, parallel)
+
+
+class TestCondenseEdgeCases:
+    def test_empty_bitmap(self):
+        bm = ShardedBitmap(0, shard_bits=SMALL_SHARD)
+        bm.condense()
+        assert len(bm) == 0 and bm.count() == 0
+        with ShardTaskPool(max_workers=2) as pool:
+            bm.condense(executor=pool)
+        assert len(bm) == 0 and bm.count() == 0 and bm.num_shards == 1
+
+    def test_condense_after_boundary_spanning_bulk_delete(self):
+        bits = np.zeros(6 * SMALL_SHARD, dtype=bool)
+        bits[:: SMALL_SHARD // 4] = True
+        serial, parallel = build_pair(bits)
+        # a contiguous run of deletes crossing two shard boundaries
+        dels = np.arange(SMALL_SHARD - 10, 3 * SMALL_SHARD + 10, dtype=np.int64)
+        expect = np.delete(bits, dels)
+        for bm in (serial, parallel):
+            bm.bulk_delete(dels)
+        serial.condense()
+        with ShardTaskPool(max_workers=4) as pool:
+            parallel.condense(executor=pool)
+        assert_bitmaps_identical(serial, parallel)
+        np.testing.assert_array_equal(serial.to_bool_array(), expect)
+        assert serial.lost_bits() == 0
+        assert serial.utilization() >= expect.size / (serial.num_shards * SMALL_SHARD)
+
+    def test_auto_condense_exactly_at_threshold_boundary(self):
+        # capacity = 4 shards * 128 bits; threshold = 2/512: two lost
+        # bits sit exactly AT the threshold (no condense), the third
+        # strictly exceeds it and fires.
+        capacity = 4 * SMALL_SHARD
+        bm = ShardedBitmap(
+            capacity, shard_bits=SMALL_SHARD, condense_threshold=2 / capacity
+        )
+        bm.delete(0)
+        bm.delete(0)
+        assert bm.lost_bits() == 2  # at the boundary: untouched
+        bm.delete(0)
+        assert bm.lost_bits() == 0  # strictly above: condensed
+        assert len(bm) == capacity - 3
+
+    def test_condense_preserves_set_bits_after_heavy_deletes(self):
+        rng = np.random.default_rng(11)
+        bits = rng.random(8 * SMALL_SHARD) < 0.7
+        bm = ShardedBitmap.from_bool_array(bits, shard_bits=SMALL_SHARD)
+        live = bits.copy()
+        for _ in range(6):
+            dels = np.sort(
+                rng.choice(len(bm), size=max(1, len(bm) // 3), replace=False)
+            )
+            bm.bulk_delete(dels)
+            live = np.delete(live, dels)
+        with ShardTaskPool(max_workers=3) as pool:
+            bm.condense(executor=pool)
+        np.testing.assert_array_equal(bm.to_bool_array(), live)
+        assert bm.lost_bits() == 0
+
+
+class TestFactoryThresholdForwarding:
+    """Regression: the factories silently dropped ``condense_threshold``."""
+
+    def test_from_bool_array_forwards_threshold(self):
+        bm = ShardedBitmap.from_bool_array(
+            np.ones(4 * SMALL_SHARD, dtype=bool),
+            shard_bits=SMALL_SHARD,
+            condense_threshold=0.0,
+        )
+        bm.delete(0)
+        # any lost bit strictly exceeds 0.0, so auto-condense fired
+        assert bm.lost_bits() == 0
+        assert len(bm) == 4 * SMALL_SHARD - 1
+
+    def test_from_positions_forwards_threshold(self):
+        bm = ShardedBitmap.from_positions(
+            [0, SMALL_SHARD, 2 * SMALL_SHARD],
+            3 * SMALL_SHARD,
+            shard_bits=SMALL_SHARD,
+            condense_threshold=0.0,
+        )
+        bm.bulk_delete([1, SMALL_SHARD + 1])
+        assert bm.lost_bits() == 0
+        assert bm.count() == 3
+
+    def test_factories_without_threshold_never_condense(self):
+        bm = ShardedBitmap.from_bool_array(
+            np.ones(4 * SMALL_SHARD, dtype=bool), shard_bits=SMALL_SHARD
+        )
+        bm.delete(0)
+        assert bm.lost_bits() == 1
+
+
+class TestPatchIndexCondensePlumbing:
+    def _table(self, n=4096):
+        from repro.storage import Table
+
+        values = np.arange(n, dtype=np.int64)
+        values[:: n // 8] = -1  # a few NSC violations
+        return Table.from_arrays("t", {"k": np.arange(n), "v": values})
+
+    def test_parallelism_knob_shares_pool_for_delete_and_condense(self):
+        table = self._table()
+        index = PatchIndex(
+            table,
+            "v",
+            NearlySortedColumn(),
+            shard_bits=SMALL_SHARD,
+            parallelism=4,
+            condense_threshold=0.01,
+        )
+        assert isinstance(index._deleter, ParallelBulkDeleter)
+        assert index._bitmap.condense_executor is index._deleter
+        before = index.patch_mask()
+        dels = np.arange(0, table.num_rows, 5, dtype=np.int64)
+        index.remove_rows(dels)
+        np.testing.assert_array_equal(index.patch_mask(), np.delete(before, dels))
+        index.condense()
+        assert index._bitmap.lost_bits() == 0
+        np.testing.assert_array_equal(index.patch_mask(), np.delete(before, dels))
+
+    def test_serial_index_matches_parallel_index(self):
+        table = self._table()
+        serial = PatchIndex(table, "v", NearlySortedColumn(), shard_bits=SMALL_SHARD)
+        parallel = PatchIndex(
+            table, "v", NearlySortedColumn(), shard_bits=SMALL_SHARD, parallelism=8
+        )
+        dels = np.sort(
+            np.random.default_rng(3).choice(table.num_rows, size=700, replace=False)
+        )
+        serial.remove_rows(dels)
+        parallel.remove_rows(dels)
+        serial.condense()
+        parallel.condense()
+        assert_bitmaps_identical(serial._bitmap, parallel._bitmap)
+
+    def test_invalid_parallelism_rejected(self):
+        table = self._table(256)
+        with pytest.raises(ValueError):
+            PatchIndex(table, "v", NearlySortedColumn(), parallelism=0)
+        with pytest.raises(TypeError):
+            PatchIndex(table, "v", NearlySortedColumn(), parallelism=2.5)
+
+    def test_partitioned_table_shares_one_maintenance_pool(self):
+        from repro.core import PatchIndexManager
+        from repro.storage import Catalog, PartitionedTable
+
+        table = self._table(8192)
+        parted = PartitionedTable.from_table(table, "k", 4)
+        catalog = Catalog()
+        catalog.register(parted)
+        manager = PatchIndexManager(catalog)
+        handle = manager.create(
+            parted, "v", NearlySortedColumn(), parallelism=4, shard_bits=SMALL_SHARD
+        )
+        pools = {id(p.index._deleter) for p in handle.parts}
+        assert len(pools) == 1  # one pool for the whole table, not per partition
+        assert handle.parts[0].index._deleter is handle._pool
+        assert not handle.parts[0].index._owns_deleter
+        # dml through a partition drives the shared pool without issue
+        parted.delete_global(np.arange(0, 4096, 3, dtype=np.int64))
+        assert handle.verify()
+        manager.drop(parted.name, "v")  # closes the shared pool
+
+    def test_owned_pool_closed_on_manager_drop(self):
+        from repro.core import PatchIndexManager
+        from repro.storage import Catalog
+
+        table = self._table(1024)
+        catalog = Catalog()
+        catalog.register(table)
+        manager = PatchIndexManager(catalog)
+        handle = manager.create(table, "v", NearlySortedColumn(), parallelism=4)
+        deleter = handle.index._deleter
+        deleter.run_tasks([lambda: None, lambda: None])  # spin the pool up
+        assert deleter._pool is not None
+        manager.drop(table.name, "v")
+        assert deleter._pool is None  # released by detach
+
+    def test_identifier_design_condense_is_noop(self):
+        table = self._table(256)
+        index = PatchIndex(table, "v", NearlySortedColumn(), design="identifier")
+        before = index.patch_rowids()
+        index.condense()
+        np.testing.assert_array_equal(index.patch_rowids(), before)
