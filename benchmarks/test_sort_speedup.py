@@ -1,0 +1,164 @@
+"""Sort path — serial vs morsel-parallel ORDER BY and SortKey refresh.
+
+Times the parallel sort engine (`repro.engine.parallel_sort`: morsel
+chunk-sorts plus the deterministic k-way merge) against the serial
+stable sort on the paths the ISSUE routes through it: SQL ORDER BY over
+the large TPC-H-style config (single-key, descending, and multi-key)
+and SortKey refresh over a partitioned table (partition-affinity
+fan-out).
+
+Two properties are asserted:
+
+* parallel sorts return bit-identical relations / sorted parts, and
+* parallel execution does not regress vs serial beyond scheduling noise
+  (the speedup itself depends on the core count of the machine — on a
+  single-core runner the best possible outcome is ≈1×, since threads
+  only interleave the GIL-releasing numpy kernels), while inputs below
+  ``sort_parallel_payoff`` provably stay on the serial path.
+
+Set ``BENCH_QUICK=1`` to shrink the datasets (the CI smoke job).
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import format_table, time_fn, write_report
+from repro.engine.parallel_sort import sort_parallel_payoff
+from repro.materialization import SortKey
+from repro.sql.session import SQLSession
+from repro.storage import Catalog, PartitionedTable, Table
+from repro.workloads import generate_tpch
+
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
+#: TPC-H scale: lineitem carries ~6000 rows per 0.001 scale.
+TPCH_SCALE = 0.05 if QUICK else 0.2
+SORTKEY_ROWS = 200_000 if QUICK else 1_000_000
+SORTKEY_PARTS = 8
+PARALLELISM = 8
+REPEATS = 2 if QUICK else 3
+#: Parallel dispatch on an oversubscribed or noisy machine costs a
+#: little; the assertion only guards against pathological overhead
+#: (many-times-slower), not scheduling noise.  A machine with fewer
+#: cores than workers cannot win back the extra merge/rank-encoding
+#: passes the parallel pipeline performs (multi-key sorts run ~3 chunked
+#: passes where serial runs 2), so the guard widens there — the parallel
+#: path is still bounded by its pass count, just not faster.
+REGRESSION_SLACK = 1.5 if (os.cpu_count() or 1) >= PARALLELISM else 5.0
+ABS_SLACK = 0.1
+
+QUERIES = [
+    ("ORDER BY price (float)", "SELECT * FROM lineitem ORDER BY l_extendedprice"),
+    ("ORDER BY discount DESC, orderkey",
+     "SELECT * FROM lineitem ORDER BY l_discount DESC, l_orderkey"),
+    ("ORDER BY orderkey (int)",
+     "SELECT l_orderkey, l_suppkey FROM lineitem ORDER BY l_suppkey"),
+]
+
+
+def tpch_catalog() -> Catalog:
+    catalog = Catalog()
+    generate_tpch(scale=TPCH_SCALE, seed=13).register(catalog)
+    return catalog
+
+
+def sortkey_source() -> PartitionedTable:
+    rng = np.random.default_rng(29)
+    table = Table.from_arrays(
+        "skbench",
+        {
+            "pk": np.arange(SORTKEY_ROWS, dtype=np.int64),
+            "v": rng.integers(0, SORTKEY_ROWS, SORTKEY_ROWS).astype(np.int64),
+            "payload": rng.random(SORTKEY_ROWS),
+        },
+    )
+    return PartitionedTable.from_table(table, "pk", SORTKEY_PARTS)
+
+
+def time_order_by(catalog: Catalog) -> list:
+    rows = []
+    serial = SQLSession(catalog)
+    with SQLSession(catalog, parallelism=PARALLELISM) as parallel:
+        for name, sql in QUERIES:
+            serial_s = time_fn(lambda: serial.execute(sql), repeats=REPEATS)
+            parallel_s = time_fn(lambda: parallel.execute(sql), repeats=REPEATS)
+            rows.append([name, serial_s, parallel_s, serial_s / max(parallel_s, 1e-9)])
+    return rows
+
+
+def time_sortkey_refresh() -> list:
+    source = sortkey_source()
+    serial_sk = SortKey(source, "v", refresh_policy="manual")
+    parallel_sk = SortKey(source, "v", refresh_policy="manual", parallelism=PARALLELISM)
+    try:
+        serial_s = time_fn(serial_sk.refresh, repeats=REPEATS)
+        parallel_s = time_fn(parallel_sk.refresh, repeats=REPEATS)
+
+        # drop the cached permutation so every sample pays the merge
+        def uncached_scan(sk: SortKey):
+            sk._scan_order = None
+            sk.scan_sorted(["v"])
+
+        scan_serial = time_fn(lambda: uncached_scan(serial_sk), repeats=REPEATS)
+        scan_parallel = time_fn(lambda: uncached_scan(parallel_sk), repeats=REPEATS)
+    finally:
+        parallel_sk.detach()
+        serial_sk.detach()
+    return [
+        ["SortKey refresh (8 partitions)", serial_s, parallel_s,
+         serial_s / max(parallel_s, 1e-9)],
+        ["SortKey scan merge", scan_serial, scan_parallel,
+         scan_serial / max(scan_parallel, 1e-9)],
+    ]
+
+
+def assert_results_identical(catalog: Catalog) -> None:
+    """Parallel ORDER BY returns bit-identical relations."""
+    serial = SQLSession(catalog)
+    with SQLSession(catalog, parallelism=PARALLELISM) as parallel:
+        for _, sql in QUERIES:
+            want, got = serial.execute(sql), parallel.execute(sql)
+            assert want.column_names == got.column_names, sql
+            for name in want.column_names:
+                np.testing.assert_array_equal(
+                    want.column(name), got.column(name), err_msg=f"{sql} / {name}"
+                )
+
+
+def test_sort_speedup(benchmark):
+    catalog = tpch_catalog()
+    rows = time_order_by(catalog) + time_sortkey_refresh()
+    assert_results_identical(catalog)
+
+    lineitem_rows = catalog.table("lineitem").num_rows
+    report = format_table(
+        ["workload", "serial [s]", "parallel [s]", "speedup"],
+        rows,
+        title=(
+            f"Parallel sort: chunk-sort + k-way merge "
+            f"(parallelism={PARALLELISM}, cpus={os.cpu_count()}, "
+            f"lineitem={lineitem_rows}, sortkey_rows={SORTKEY_ROWS})"
+        ),
+    )
+    if (os.cpu_count() or 1) < PARALLELISM:
+        report += (
+            f"\nnote: {os.cpu_count()} CPU(s) < {PARALLELISM} workers -> "
+            "threads only interleave GIL-releasing kernels; ~1x (parity) "
+            "is the attainable ceiling here, speedup needs cores."
+        )
+    write_report("sort_speedup", report)
+
+    for name, serial_s, parallel_s, _ in rows:
+        assert parallel_s <= serial_s * REGRESSION_SLACK + ABS_SLACK, (
+            f"{name}: parallel {parallel_s:.4f}s regressed vs serial {serial_s:.4f}s"
+        )
+
+    # below the payoff point the fan-out is provably skipped, so small
+    # ORDER BYs cannot regress by construction
+    assert not sort_parallel_payoff(1_000, parallelism=PARALLELISM)
+    assert sort_parallel_payoff(lineitem_rows, parallelism=PARALLELISM) or QUICK
+
+    serial = SQLSession(catalog)
+    benchmark.pedantic(
+        lambda: serial.execute(QUERIES[0][1]), rounds=1, iterations=1
+    )

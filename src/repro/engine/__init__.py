@@ -26,6 +26,12 @@ from repro.engine.expressions import (
     where,
 )
 from repro.engine.parallel import ExecutionContext, validate_parallelism
+from repro.engine.parallel_sort import (
+    merge_sorted_runs,
+    serial_sort_permutation,
+    sort_parallel_payoff,
+    sort_permutation,
+)
 from repro.engine.operators import (
     Distinct,
     Filter,
@@ -49,6 +55,10 @@ __all__ = [
     "Relation",
     "ExecutionContext",
     "validate_parallelism",
+    "merge_sorted_runs",
+    "serial_sort_permutation",
+    "sort_parallel_payoff",
+    "sort_permutation",
     "Expression",
     "expression_columns",
     "ColumnRef",

@@ -118,24 +118,31 @@ class Relation:
         keys: Sequence[str],
         ascending: Optional[Sequence[bool]] = None,
         stable: bool = True,
+        context=None,
     ) -> "Relation":
-        """Multi-key sort.
+        """Multi-key sort in the engine's canonical stable order.
 
-        ``stable=False`` uses introsort (quicksort family) on the last
-        key, matching the paper's engine whose sort does not exploit
-        pre-sortedness; multi-key sorts stay stable for tie handling.
+        The permutation is
+        :func:`repro.engine.parallel_sort.sort_permutation` — the
+        repeated stable-argsort composition every sort consumer shares;
+        passing an :class:`~repro.engine.parallel.ExecutionContext` runs
+        it as parallel chunk-sorts plus a deterministic k-way merge with
+        bit-identical output.  ``stable=False`` keeps the historical
+        introsort (quicksort family) path for single-key sorts, matching
+        the paper's engine whose sort does not exploit pre-sortedness.
         """
+        from repro.engine.parallel_sort import sort_permutation
+
         if ascending is None:
             ascending = [True] * len(keys)
-        order = np.arange(self._num_rows)
-        pairs = list(zip(keys, ascending))
-        for i, (key, asc) in enumerate(reversed(pairs)):
-            kind = "quicksort" if (not stable and len(pairs) == 1 and i == 0) else "stable"
-            vals = self._columns[key][order]
-            idx = np.argsort(vals, kind=kind)
-            if not asc:
+        if not stable and len(keys) == 1:
+            idx = np.argsort(self._columns[keys[0]], kind="quicksort")
+            if not ascending[0]:
                 idx = idx[::-1]
-            order = order[idx]
+            return self.take(idx)
+        order = sort_permutation(
+            [self._columns[k] for k in keys], ascending, context=context
+        )
         return self.take(order)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -17,6 +17,7 @@ import numpy as np
 from repro.engine.batch import ROWID, Relation
 from repro.engine.expressions import Expression, expression_columns
 from repro.engine.parallel import ExecutionContext, Morsel, row_chunks, table_morsels
+from repro.engine.parallel_sort import merge_sorted_runs, sort_permutation
 
 __all__ = [
     "Operator",
@@ -527,6 +528,10 @@ class MergeJoin(Operator):
 
     Skips the build-side sort a hash/sort join pays: matching ranges are
     located with galloping binary search over the sorted key columns.
+    Should the build (left) input arrive unsorted — a planner bug would
+    previously corrupt the binary search silently — it is re-ordered
+    through the stable parallel sort engine, which fans out on the bound
+    execution context and stays bit-identical to a serial stable sort.
     """
 
     def __init__(self, left: Operator, right: Operator, left_key: str, right_key: str) -> None:
@@ -538,8 +543,16 @@ class MergeJoin(Operator):
     def children(self) -> List[Operator]:
         return [self.left, self.right]
 
+    def _ordered_build(self, left_rel: Relation) -> Relation:
+        """The build side, stably sorted on its key if not already."""
+        keys = left_rel.column(self.left_key)
+        if len(keys) < 2 or bool(np.all(keys[:-1] <= keys[1:])):
+            return left_rel
+        order = sort_permutation([keys], [True], context=self.context)
+        return _take_with_context(left_rel, order, self.context)
+
     def execute(self) -> Relation:
-        left_rel = self.left.execute()
+        left_rel = self._ordered_build(self.left.execute())
         right_rel = self.right.execute()
         build_idx, probe_idx = _expand_matches(
             left_rel.column(self.left_key),
@@ -555,12 +568,20 @@ class MergeJoin(Operator):
 
 
 class Sort(Operator):
-    """Multi-key sort.
+    """Multi-key sort through the stable parallel sort engine.
 
-    Single-key sorts use introsort, like the QuickSort of the paper's
-    engine (§6.2.1): runtime does not collapse on pre-sorted input, so
-    the NSC optimization's value is what the index removes, not what
-    the sort implementation happens to detect.
+    The permutation always equals ``np.argsort(kind="stable")``
+    composed over the keys (see
+    :func:`repro.engine.parallel_sort.serial_sort_permutation`), which
+    is what lets a bound execution context fan the sort out as morsel
+    chunk-sorts plus a deterministic k-way merge without breaking the
+    engine's bit-identity contract.  Methodology note vs the paper's
+    QuickSort (§6.2.1): the stable sort's integer-key radix path does
+    not collapse on pre-sorted input — the microbenchmark datasets sort
+    integer keys, so the NSC optimization's measured value remains what
+    the index removes — but float/string keys now use an adaptive
+    mergesort that partially exploits pre-sortedness, a deliberate
+    trade for the parallel determinism contract.
     """
 
     def __init__(
@@ -568,19 +589,20 @@ class Sort(Operator):
         child: Operator,
         keys: Sequence[str],
         ascending: Optional[Sequence[bool]] = None,
-        stable: bool = False,
     ) -> None:
         self.child = child
         self.keys = list(keys)
         self.ascending = list(ascending) if ascending is not None else [True] * len(self.keys)
-        self.stable = stable
 
     def children(self) -> List[Operator]:
         return [self.child]
 
     def execute(self) -> Relation:
         rel = self.child.execute()
-        return rel.sort_by(self.keys, self.ascending, stable=self.stable)
+        order = sort_permutation(
+            [rel.column(k) for k in self.keys], self.ascending, context=self.context
+        )
+        return _take_with_context(rel, order, self.context)
 
     def label(self) -> str:
         return f"Sort({self.keys})"
@@ -847,8 +869,13 @@ class Union(Operator):
 class MergeUnion(Operator):
     """Order-preserving union of sorted inputs (§3.3 sort optimization).
 
-    Combines the already-sorted non-patch flow with the sorted patch flow
-    using a linear merge instead of re-sorting the union.
+    Combines the already-sorted non-patch flow with the sorted patch
+    flow without re-sorting the union: the inputs are treated as sorted
+    runs and combined by the deterministic k-way merge of
+    :mod:`repro.engine.parallel_sort` (equal keys keep input order —
+    earlier input first, then within-input order), so the result is
+    bit-identical to stably re-sorting the concatenation, serial or
+    parallel.
     """
 
     def __init__(self, inputs: Sequence[Operator], key: str, ascending: bool = True) -> None:
@@ -860,33 +887,19 @@ class MergeUnion(Operator):
         return list(self.inputs)
 
     def execute(self) -> Relation:
-        rels_all = [op.execute() for op in self.inputs]
+        return self._merge_all([op.execute() for op in self.inputs])
+
+    def _merge_all(self, rels_all: Sequence[Relation]) -> Relation:
         rels = [r for r in rels_all if r.num_rows > 0]
         if not rels:
             return rels_all[0] if rels_all else Relation({})
-        merged = rels[0]
-        for other in rels[1:]:
-            merged = self._merge_two(merged, other)
-        return merged
-
-    def _merge_two(self, a: Relation, b: Relation) -> Relation:
-        ka = a.column(self.key)
-        kb = b.column(self.key)
-        if self.ascending:
-            ka_cmp, kb_cmp = ka, kb
-        else:
-            ka_cmp, kb_cmp = -_orderable(ka), -_orderable(kb)
-        pos_a = np.arange(len(ka), dtype=np.int64) + np.searchsorted(kb_cmp, ka_cmp, side="left")
-        pos_b = np.arange(len(kb), dtype=np.int64) + np.searchsorted(ka_cmp, kb_cmp, side="right")
-        total = len(ka) + len(kb)
-        out: Dict[str, np.ndarray] = {}
-        for name in a.column_names:
-            ca, cb = a.column(name), b.column(name)
-            merged = np.empty(total, dtype=ca.dtype if ca.dtype == cb.dtype else object)
-            merged[pos_a] = ca
-            merged[pos_b] = cb
-            out[name] = merged
-        return Relation(out)
+        if len(rels) == 1:
+            return rels[0]
+        run_keys = [r.column(self.key) for r in rels]
+        if not self.ascending:
+            run_keys = [-_orderable(k) for k in run_keys]
+        order = merge_sorted_runs(run_keys, context=self.context)
+        return _take_with_context(Relation.concat(rels), order, self.context)
 
     def label(self) -> str:
         return f"MergeUnion(key={self.key}, asc={self.ascending})"
@@ -978,6 +991,27 @@ class _ScanMorselThunk:
 
 def _call(thunk: Callable[[], Relation]) -> Relation:
     return thunk()
+
+
+def _take_with_context(
+    rel: Relation, indices: np.ndarray, ctx: Optional[ExecutionContext]
+) -> Relation:
+    """Row gather, fanned out per column when a context warrants it.
+
+    Fancy indexing is independent per column (numpy releases the GIL for
+    the bulk copy), so wide sorted/merged outputs gather their columns
+    concurrently; order and values are identical to ``rel.take``.
+    """
+    if (
+        ctx is None
+        or not ctx.active
+        or len(rel.column_names) <= 1
+        or len(indices) < ctx.min_parallel_rows
+    ):
+        return rel.take(indices)
+    names = rel.column_names
+    arrays = ctx.map(lambda name: rel.column(name)[indices], names)
+    return Relation(dict(zip(names, arrays)))
 
 
 def _slice_relation(rel: Relation, start: int, stop: int) -> Relation:

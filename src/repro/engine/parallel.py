@@ -221,6 +221,40 @@ class ExecutionContext:
                 return [fn(item) for item in items]
             raise
 
+    def map_grouped(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        keys: Sequence[object],
+    ) -> List[R]:
+        """Apply ``fn`` to every item with affinity grouping.
+
+        Items sharing a key form one pool task that processes them
+        sequentially on a single worker — the NUMA-style affinity the
+        parallel sort uses to keep a partition's chunks (and their
+        minmax/patch caches) on one thread.  Results come back in item
+        order regardless of grouping, and the same recursion rule as
+        :meth:`map` applies: ``fn`` must be leaf-level work.
+        """
+        if len(keys) != len(items):
+            raise ValueError("need one affinity key per item")
+        if not self.active or len(items) <= 1:
+            return [fn(item) for item in items]
+        groups: dict = {}
+        for pos, (item, key) in enumerate(zip(items, keys)):
+            groups.setdefault(key, []).append((pos, item))
+        if len(groups) <= 1:
+            return [fn(item) for item in items]
+
+        def run_group(entries: List[Tuple[int, T]]) -> List[Tuple[int, R]]:
+            return [(pos, fn(item)) for pos, item in entries]
+
+        out: List[R] = [None] * len(items)  # type: ignore[list-item]
+        for batch in self.map(run_group, list(groups.values())):
+            for pos, result in batch:
+                out[pos] = result
+        return out
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool down (idempotent and permanent).

@@ -1,0 +1,453 @@
+"""Stable parallel sort: morsel chunk-sort + deterministic k-way merge.
+
+PR 1's morsel executor left every sort on the serial path because the
+engine's bit-identity contract ("parallel execution is indistinguishable
+from serial execution") seemed to force it: a naive parallel sort breaks
+ties in a schedule-dependent order.  This module retires that
+restriction.  The input is cut into morsel-aligned chunks, each chunk is
+argsorted on the shared :class:`~repro.engine.parallel.ExecutionContext`
+worker pool, and the sorted chunk runs are combined by a deterministic
+k-way tournament merge (a loser-tree bracket of vectorized two-way
+merges) that breaks equal keys by ``(chunk index, within-chunk offset)``.
+Chunks are contiguous row ranges taken in order, so that tie rule *is*
+original row order — the result is bit-identical to
+``np.argsort(kind="stable")`` no matter the worker count or schedule,
+including multi-key, descending and NaN/None orderings.
+
+Ordering semantics
+------------------
+:func:`serial_sort_permutation` is the reference: the repeated
+stable-argsort loop :meth:`repro.engine.batch.Relation.sort_by` has
+always used (least-significant key first; a descending key reverses the
+stable order, which also reverses the tie order accumulated so far).
+The parallel path reproduces it exactly via a single-pass reduction:
+the serial loop equals one stable lexicographic sort whose key ``i``
+uses the *effective* direction ``d_1 * ... * d_i`` (each descending
+reversal flips every less-significant comparison) and whose final
+tie-break on original row index uses the product of all directions.
+Multi-key inputs are rank-encoded per key (dense codes in argsort
+order, NaN/NaT/None grouped as one largest value, directions folded in
+by flipping codes) and combined into one ``int64`` key, so the merge
+only ever compares scalars.
+
+Partition affinity
+------------------
+Chunk-sort tasks are dispatched through
+:meth:`~repro.engine.parallel.ExecutionContext.map_grouped`: chunks
+sharing an affinity key run sequentially on one worker.  Callers sorting
+partitioned data (``SortKey`` refresh) key the groups by partition so a
+partition's chunks land on a fixed worker and its per-partition caches
+(minmax, patch bitmaps) stay warm; by default chunks are block-striped
+across workers, which keeps neighbouring rows on one thread.
+
+Everything degenerates to the serial reference when the context is
+absent/serial, the input is below the parallel threshold, or
+:func:`sort_parallel_payoff` says the fan-out cannot amortize its
+dispatch overhead (the plan-level twin lives in
+:meth:`repro.plan.cost.CostModel.sort_parallel_payoff`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ExecutionContext,
+    row_chunks,
+)
+
+__all__ = [
+    "serial_sort_permutation",
+    "sort_permutation",
+    "merge_sorted_runs",
+    "sort_parallel_payoff",
+    "parallel_sort_cost",
+    "serial_sort_cost",
+]
+
+#: Cost units mirroring :class:`repro.plan.cost.CostModel` (kept here so
+#: the runtime gate and the plan-level model share one formula).
+SORT_UNIT = 2.0
+MERGE_UNIT = 0.5
+DISPATCH_UNIT = 10.0
+
+#: Combined multi-key codes are re-densified before their cardinality
+#: product can overflow int64.
+_CODE_LIMIT = 1 << 60
+
+#: Dtype kinds whose comparisons run GIL-free in numpy; object columns
+#: (python comparisons) sort serially — chunking buys nothing under the
+#: GIL and the serial path is trivially bit-identical.
+_PARALLEL_KINDS = "biufUSMm"
+
+
+# ----------------------------------------------------------------------
+# cost gate (shared with plan/cost.py)
+# ----------------------------------------------------------------------
+def serial_sort_cost(
+    num_rows: float,
+    sort_unit: float = SORT_UNIT,
+) -> float:
+    """Abstract cost units of a serial n-log-n sort."""
+    n = float(num_rows)
+    return sort_unit * n * max(1.0, math.log2(max(n, 2.0)))
+
+
+def parallel_sort_cost(
+    num_rows: float,
+    parallelism: int,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    sort_unit: float = SORT_UNIT,
+    merge_unit: float = MERGE_UNIT,
+    dispatch_unit: float = DISPATCH_UNIT,
+) -> float:
+    """Abstract cost units of the chunk-sort + k-way merge pipeline.
+
+    Chunk argsorts divide the n·log(chunk) comparison work across the
+    achievable workers (an input smaller than a morsel cannot use more
+    than one); the merge pays n·log(chunks) vectorized comparisons; every
+    engaged worker costs a fixed dispatch overhead.
+    """
+    n = float(num_rows)
+    if n <= 0:
+        return 0.0
+    workers = min(float(max(1, parallelism)), n / float(morsel_rows))
+    if workers <= 1.0:
+        return serial_sort_cost(n, sort_unit)
+    num_chunks = math.ceil(n / float(morsel_rows))
+    chunk_cost = sort_unit * n * max(1.0, math.log2(max(morsel_rows, 2.0))) / workers
+    merge_cost = merge_unit * n * max(1.0, math.log2(max(num_chunks, 2.0)))
+    return chunk_cost + merge_cost + dispatch_unit * workers
+
+
+def sort_parallel_payoff(
+    num_rows: float,
+    parallelism: int,
+    morsel_rows: int = DEFAULT_MORSEL_ROWS,
+    sort_unit: float = SORT_UNIT,
+    merge_unit: float = MERGE_UNIT,
+    dispatch_unit: float = DISPATCH_UNIT,
+) -> bool:
+    """Whether the parallel sort pipeline undercuts the serial sort.
+
+    The runtime consults this (with the context's knobs) before fanning
+    a sort out, mirroring ``dml_parallel_payoff``: below the payoff
+    point the sort stays on the serial path, so small ORDER BYs never
+    regress.
+    """
+    if parallelism <= 1 or num_rows <= 0:
+        return False
+    serial = serial_sort_cost(num_rows, sort_unit)
+    parallel = parallel_sort_cost(
+        num_rows, parallelism, morsel_rows, sort_unit, merge_unit, dispatch_unit
+    )
+    return parallel < serial
+
+
+# ----------------------------------------------------------------------
+# key normalization
+# ----------------------------------------------------------------------
+def _orderable_key(arr: np.ndarray) -> np.ndarray:
+    """A key array np.argsort can order, extending object columns.
+
+    Object (string) columns may carry ``None``; python comparisons
+    against ``None`` raise, so such columns are wrapped into
+    ``(is_none, value)`` tuples — ``None`` sorts after every value (the
+    same "missing is largest" placement numpy gives NaN) and all
+    ``None`` tie.  Every other dtype orders natively.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype.kind != "O":
+        return arr
+    none_mask = np.array([v is None for v in arr], dtype=bool)
+    if not none_mask.any():
+        return arr
+    wrapped = np.empty(len(arr), dtype=object)
+    wrapped[:] = [(1, 0) if v is None else (0, v) for v in arr]
+    return wrapped
+
+
+def _group_missing(neq: np.ndarray, sorted_vals: np.ndarray) -> np.ndarray:
+    """Collapse NaN/NaT runs into one rank group (argsort ties them)."""
+    kind = sorted_vals.dtype.kind
+    if kind == "f":
+        miss = np.isnan(sorted_vals)
+    elif kind in "mM":
+        miss = np.isnat(sorted_vals)
+    else:
+        return neq
+    return neq & ~(miss[1:] & miss[:-1])
+
+
+# ----------------------------------------------------------------------
+# serial reference
+# ----------------------------------------------------------------------
+def serial_sort_permutation(
+    keys: Sequence[np.ndarray],
+    ascending: Optional[Sequence[bool]] = None,
+) -> np.ndarray:
+    """The canonical stable multi-key permutation (serial reference).
+
+    Replicates :meth:`Relation.sort_by`'s repeated stable-argsort loop
+    exactly; the parallel path is defined as bit-identical to this.
+    """
+    keys = [np.asarray(k) for k in keys]
+    if ascending is None:
+        ascending = [True] * len(keys)
+    n = len(keys[0]) if keys else 0
+    order = np.arange(n, dtype=np.int64)
+    for key, asc in reversed(list(zip(keys, ascending))):
+        vals = _orderable_key(key)[order]
+        idx = np.argsort(vals, kind="stable")
+        if not asc:
+            idx = idx[::-1]
+        order = order[idx]
+    return order
+
+
+# ----------------------------------------------------------------------
+# deterministic k-way merge (loser-tree bracket)
+# ----------------------------------------------------------------------
+def _merge_pair(
+    pair: Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized two-way merge of sorted runs; the left run wins ties.
+
+    ``searchsorted(b, a, 'left')`` counts the b-elements strictly below
+    each a-element and ``searchsorted(a, b, 'right')`` the a-elements at
+    or below each b-element, so scattering both runs to
+    ``own_rank + other_count`` interleaves them in sorted order with
+    every tie resolved to the left (lower chunk index) run — numpy's
+    enhanced sort order makes the same NaN-is-largest comparisons the
+    chunk argsorts made.
+    """
+    (a_idx, a_key), (b_idx, b_key) = pair
+    pos_a = np.arange(len(a_key), dtype=np.int64) + np.searchsorted(
+        b_key, a_key, side="left"
+    )
+    pos_b = np.arange(len(b_key), dtype=np.int64) + np.searchsorted(
+        a_key, b_key, side="right"
+    )
+    total = len(a_key) + len(b_key)
+    idx = np.empty(total, dtype=np.int64)
+    key = np.empty(total, dtype=a_key.dtype)
+    idx[pos_a] = a_idx
+    idx[pos_b] = b_idx
+    key[pos_a] = a_key
+    key[pos_b] = b_key
+    return idx, key
+
+
+def _kway_merge(
+    runs: List[Tuple[np.ndarray, np.ndarray]],
+    context: Optional[ExecutionContext],
+) -> np.ndarray:
+    """Merge sorted ``(indices, keys)`` runs into one permutation.
+
+    The runs play a tournament: adjacent runs meet in vectorized two-way
+    matches, losers of each comparison wait at their match node and
+    winners advance, exactly as in a loser tree — realized level by
+    level so every match is one GIL-releasing numpy merge and the
+    matches of a level run concurrently on the context's pool.  Pairing
+    stays adjacent, so the left run of every match holds the smaller
+    chunk indices and the tie rule "lower (chunk, offset) first" holds
+    by induction at every level.
+    """
+    if not runs:
+        return np.arange(0, dtype=np.int64)
+    while len(runs) > 1:
+        pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
+        if context is not None:
+            merged = context.map(_merge_pair, pairs)
+        else:
+            merged = [_merge_pair(p) for p in pairs]
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0][0]
+
+
+def merge_sorted_runs(
+    run_keys: Sequence[np.ndarray],
+    context: Optional[ExecutionContext] = None,
+) -> np.ndarray:
+    """Permutation merging already-sorted runs over their concatenation.
+
+    ``run_keys`` are ascending-sorted key arrays; the result indexes
+    into their concatenation and orders it ascending with equal keys
+    taken in ``(run index, within-run offset)`` order — bit-identical to
+    ``np.argsort(np.concatenate(run_keys), kind="stable")`` whenever
+    each run is non-decreasing.  This is the merge the NSC flows need:
+    per-partition sorted streams (``MergeUnion``, ``SortKey``) combine
+    without re-sorting, and with a context the bracket's matches run on
+    the worker pool.
+    """
+    runs: List[Tuple[np.ndarray, np.ndarray]] = []
+    offset = 0
+    for keys in run_keys:
+        keys = np.asarray(keys)
+        idx = np.arange(offset, offset + len(keys), dtype=np.int64)
+        runs.append((idx, keys))
+        offset += len(keys)
+    ctx = context if context is not None and context.active else None
+    return _kway_merge(runs, ctx)
+
+
+# ----------------------------------------------------------------------
+# chunk-sorted stable argsort
+# ----------------------------------------------------------------------
+def _chunk_runs(
+    values: np.ndarray,
+    context: ExecutionContext,
+    affinity: Optional[Sequence[int]] = None,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Stable-argsort morsel-aligned chunks on the worker pool.
+
+    ``affinity`` maps chunk index to a group key; chunks sharing a key
+    are sorted sequentially on one worker (partition affinity).  The
+    default block-stripes chunks across the pool, so each worker owns a
+    contiguous row range.
+    """
+    chunks = row_chunks(len(values), context.morsel_rows)
+
+    def sort_chunk(chunk: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        start, stop = chunk
+        idx = np.argsort(values[start:stop], kind="stable").astype(np.int64)
+        idx += start
+        return idx, values[idx]
+
+    if affinity is None:
+        workers = context.parallelism
+        affinity = [i * workers // len(chunks) for i in range(len(chunks))]
+    return context.map_grouped(sort_chunk, chunks, affinity)
+
+
+def _stable_argsort(
+    values: np.ndarray,
+    context: Optional[ExecutionContext],
+    affinity: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Ascending stable argsort, parallel when the context warrants it."""
+    n = len(values)
+    if not _should_parallelize(n, values.dtype, context):
+        return np.argsort(values, kind="stable").astype(np.int64)
+    runs = _chunk_runs(values, context, affinity)
+    return _kway_merge(runs, context)
+
+
+def _should_parallelize(
+    num_rows: int, dtype: np.dtype, context: Optional[ExecutionContext]
+) -> bool:
+    if context is None or not context.active:
+        return False
+    if dtype.kind not in _PARALLEL_KINDS:
+        return False
+    num_chunks = -(-num_rows // context.morsel_rows) if num_rows else 0
+    if not context.should_parallelize(num_rows, num_chunks):
+        return False
+    return sort_parallel_payoff(num_rows, context.parallelism, context.morsel_rows)
+
+
+# ----------------------------------------------------------------------
+# rank encoding (multi-key reduction)
+# ----------------------------------------------------------------------
+def _dense_codes(
+    values: np.ndarray,
+    context: Optional[ExecutionContext],
+    affinity: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, int]:
+    """Dense int64 ranks in stable-argsort order (missing values tie).
+
+    ``codes[i] < codes[j]`` iff value ``i`` sorts strictly before value
+    ``j`` under ``np.argsort``'s comparisons; equal values — including
+    every NaN/NaT and ``-0.0`` vs ``+0.0`` — share a code, so folding a
+    direction in by flipping codes reverses the value order without
+    touching tie behavior.
+    """
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), 1
+    perm = _stable_argsort(values, context, affinity)
+    sorted_vals = values[perm]
+    neq = sorted_vals[1:] != sorted_vals[:-1]
+    neq = _group_missing(neq, sorted_vals)
+    ranks = np.concatenate([[0], np.cumsum(neq)]).astype(np.int64)
+    codes = np.empty(n, dtype=np.int64)
+    codes[perm] = ranks
+    return codes, int(ranks[-1]) + 1
+
+
+# ----------------------------------------------------------------------
+# public entry point
+# ----------------------------------------------------------------------
+def sort_permutation(
+    keys: Sequence[np.ndarray],
+    ascending: Optional[Sequence[bool]] = None,
+    context: Optional[ExecutionContext] = None,
+    affinity: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Permutation sorting rows by ``keys``/``ascending``.
+
+    Bit-identical to :func:`serial_sort_permutation` (and therefore to
+    ``Relation.sort_by``) at any worker count: multi-key, descending and
+    NaN/None orderings included.  ``affinity`` optionally pins chunk
+    groups to workers (see :func:`_chunk_runs`).
+    """
+    keys = [np.asarray(k) for k in keys]
+    if ascending is None:
+        ascending = [True] * len(keys)
+    if len(ascending) != len(keys):
+        raise ValueError("need one ascending flag per sort key")
+    if not keys:
+        return np.arange(0, dtype=np.int64)
+    n = len(keys[0])
+    for k in keys[1:]:
+        if len(k) != n:
+            raise ValueError("sort keys must have equal lengths")
+    okeys = [_orderable_key(k) for k in keys]
+    if not _should_parallelize(n, okeys[0].dtype, context) or any(
+        k.dtype.kind not in _PARALLEL_KINDS for k in okeys
+    ):
+        return serial_sort_permutation(keys, ascending)
+
+    if len(okeys) == 1:
+        perm = _stable_argsort(okeys[0], context, affinity)
+        return perm if ascending[0] else perm[::-1]
+
+    # Effective direction of key i: each descending more-significant key
+    # reverses (in the serial loop) the order every less-significant key
+    # established for its ties, so e_i = d_1 * ... * d_i; full-row ties
+    # keep original order flipped once per descending key overall.
+    effective: List[bool] = []
+    sign = True
+    for asc in ascending:
+        sign = sign == asc
+        effective.append(sign)
+    tie_ascending = effective[-1]
+
+    code: Optional[np.ndarray] = None
+    code_card = 1
+    for key, eff_asc in zip(okeys, effective):
+        codes, card = _dense_codes(key, context, affinity)
+        if not eff_asc:
+            codes = (card - 1) - codes
+        if code is None:
+            code, code_card = codes, card
+        else:
+            if code_card > _CODE_LIMIT // max(card, 1):
+                # re-densify BEFORE combining: the combined cardinality
+                # would overflow int64 and corrupt the ranks silently.
+                # Post-densify both factors are <= n+1, so the product
+                # of the next combine cannot overflow.
+                code, code_card = _dense_codes(code, context, affinity)
+            code = code * card + codes
+            code_card *= card
+    assert code is not None
+    if not tie_ascending:
+        code = (code_card - 1) - code
+    perm = _stable_argsort(code, context, affinity)
+    return perm if tie_ascending else perm[::-1]

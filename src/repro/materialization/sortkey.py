@@ -9,6 +9,15 @@ PatchIndexes which leave the physical order untouched (§6.2.3).
 We materialize the ordered data as a separate sorted copy (our tables
 do not support in-place reordering), which is equivalent for both query
 and maintenance cost accounting.  Updates re-sort (recompute) the copy.
+
+Refresh runs through the stable parallel sort engine
+(:mod:`repro.engine.parallel_sort`): with an execution context, a
+partitioned source sorts its partitions concurrently — each partition's
+sort-and-gather is one pool task pinned to a fixed worker (partition
+affinity), so its column and minmax caches stay warm — while a plain
+table fans out as morsel chunk-sorts plus the deterministic k-way
+merge.  Either way the sorted copies are bit-identical to the serial
+``np.argsort(kind="stable")`` materialization.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.engine.parallel import ExecutionContext
+from repro.engine.parallel_sort import merge_sorted_runs, sort_permutation
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
 
@@ -27,7 +38,11 @@ REFRESH_MANUAL = "manual"
 
 
 class SortKey:
-    """Physically sorted materialization of a table on one column."""
+    """Physically sorted materialization of a table on one column.
+
+    ``parallelism`` (or a shared ``context``) enables parallel refresh
+    and scan-merge; ``1``/``None`` keeps the historical serial path.
+    """
 
     def __init__(
         self,
@@ -36,6 +51,8 @@ class SortKey:
         ascending: bool = True,
         refresh_policy: str = REFRESH_IMMEDIATE,
         catalog=None,
+        context: Optional[ExecutionContext] = None,
+        parallelism: Optional[int] = None,
     ) -> None:
         if refresh_policy not in (REFRESH_IMMEDIATE, REFRESH_MANUAL):
             raise ValueError(f"unknown refresh policy {refresh_policy!r}")
@@ -44,6 +61,12 @@ class SortKey:
         self.ascending = ascending
         self.refresh_policy = refresh_policy
         self.refresh_count = 0
+        self._owned_context: Optional[ExecutionContext] = None
+        if context is None and parallelism is not None and parallelism > 1:
+            context = ExecutionContext(parallelism=parallelism)
+            self._owned_context = context
+        self._context = context
+        self._scan_order: Optional[np.ndarray] = None
         self.sorted_parts: List[Table] = self._compute()
         self._source_version = _version_of(table)
         self._hooked: List[Table] = []
@@ -55,16 +78,29 @@ class SortKey:
             catalog.add_structure("sortkey", table.name, column, self)
 
     # ------------------------------------------------------------------
+    def _sorted_copy(self, base: Table, context: Optional[ExecutionContext]) -> Table:
+        order = sort_permutation(
+            [base.column(self.column)], [self.ascending], context=context
+        )
+        cols = {c: base.column(c)[order] for c in base.schema.names}
+        return Table(f"{base.name}__sorted_{self.column}", base.schema, cols)
+
     def _compute(self) -> List[Table]:
-        parts = []
-        for i, base in enumerate(_base_tables(self.source)):
-            keys = base.column(self.column)
-            order = np.argsort(keys, kind="stable")
-            if not self.ascending:
-                order = order[::-1]
-            cols = {c: base.column(c)[order] for c in base.schema.names}
-            parts.append(Table(f"{base.name}__sorted_{self.column}", base.schema, cols))
-        return parts
+        bases = _base_tables(self.source)
+        ctx = self._context
+        if ctx is not None and ctx.active and len(bases) > 1:
+            # Partition affinity: each partition's sort+gather is one
+            # pool task keyed by partition id, so a partition lands on a
+            # fixed worker; the tasks themselves run serially inside
+            # (leaf-level work — no nested pool dispatch).
+            items = list(enumerate(bases))
+            return ctx.map_grouped(
+                lambda item: self._sorted_copy(item[1], context=None),
+                items,
+                [i for i, _ in items],
+            )
+        # single base table: chunk-parallel sort within the table
+        return [self._sorted_copy(base, context=ctx) for base in bases]
 
     def _on_update(self, table, event) -> None:
         self.refresh()
@@ -72,6 +108,7 @@ class SortKey:
     def refresh(self) -> None:
         """Physically re-sort (the expensive maintenance path)."""
         self.sorted_parts = self._compute()
+        self._scan_order = None
         self._source_version = _version_of(self.source)
         self.refresh_count += 1
 
@@ -80,32 +117,60 @@ class SortKey:
         return _version_of(self.source) != self._source_version
 
     # ------------------------------------------------------------------
+    def _merge_order(self) -> np.ndarray:
+        """Global merge permutation over the concatenated sorted parts.
+
+        Computed once per refresh and cached: repeated scans — in
+        particular scans requesting only a column subset — no longer
+        re-materialize the full permutation.  Ascending keys merge the
+        per-partition runs with the deterministic k-way merge (equal
+        keys by partition order, bit-identical to the stable argsort of
+        the concatenation); descending keys keep the reference
+        reversed-stable-argsort, whose tie order a forward run-merge
+        cannot express.
+        """
+        if self._scan_order is None:
+            key_arrays = [p.column(self.column) for p in self.sorted_parts]
+            if self.ascending:
+                self._scan_order = merge_sorted_runs(key_arrays, context=self._context)
+            else:
+                merged_key = np.concatenate(key_arrays)
+                self._scan_order = np.argsort(merged_key, kind="stable")[::-1]
+        return self._scan_order
+
     def scan_sorted(self, columns: Optional[List[str]] = None) -> dict:
-        """Globally ordered columns: per-partition scans plus a merge."""
+        """Globally ordered columns: per-partition scans plus a merge.
+
+        Only the requested columns are concatenated and gathered; the
+        merge permutation itself is shared across calls (see
+        :meth:`_merge_order`).
+        """
         columns = columns or self.source.schema.names
         if len(self.sorted_parts) == 1:
             part = self.sorted_parts[0]
             return {c: part.column(c) for c in columns}
-        key_arrays = [p.column(self.column) for p in self.sorted_parts]
-        merged_key = np.concatenate(key_arrays)
-        order = np.argsort(merged_key, kind="stable")
-        if not self.ascending:
-            order = order[::-1]
-        out = {}
-        for c in columns:
-            cat = np.concatenate([p.column(c) for p in self.sorted_parts])
-            out[c] = cat[order]
-        return out
+        order = self._merge_order()
+
+        def gather(c: str) -> np.ndarray:
+            return np.concatenate([p.column(c) for p in self.sorted_parts])[order]
+
+        ctx = self._context
+        if ctx is not None and ctx.active and len(columns) > 1:
+            return dict(zip(columns, ctx.map(gather, list(columns))))
+        return {c: gather(c) for c in columns}
 
     def memory_bytes(self) -> int:
         """Extra storage: zero beyond the reordered data itself (§6.4)."""
         return 0
 
     def detach(self) -> None:
-        """Stop auto-refreshing."""
+        """Stop auto-refreshing and release any owned worker pool."""
         for part in self._hooked:
             part.remove_update_hook(self._on_update)
         self._hooked = []
+        if self._owned_context is not None:
+            self._owned_context.close()
+            self._owned_context = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SortKey({self.source.name}.{self.column}, parts={len(self.sorted_parts)})"

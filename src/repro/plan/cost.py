@@ -11,9 +11,8 @@ forced, as done for the paper's forced-plan experiments).
 
 from __future__ import annotations
 
-import math
-
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS
+from repro.engine import parallel_sort
 from repro.plan import nodes
 from repro.plan.stats import estimate_rows
 from repro.storage.catalog import Catalog
@@ -34,8 +33,10 @@ class CostModel:
     filters, patch selections, hash joins, aggregations) are divided by
     the worker count achievable for the operator's input cardinality —
     an input smaller than a morsel cannot use more than one worker —
-    plus a per-worker dispatch overhead.  Order-sensitive operators
-    (sort, merge join/combine) execute serially and keep their cost.
+    plus a per-worker dispatch overhead.  Sorts cost the cheaper of the
+    serial n-log-n path and the parallel chunk-sort + k-way merge
+    pipeline (``sort_parallel_payoff``); the remaining order-sensitive
+    operators (merge join/combine) keep their serial cost.
     """
 
     COST_SCAN = 1.0
@@ -45,16 +46,19 @@ class CostModel:
     COST_HASH_BUILD = 4.0
     COST_HASH_PROBE = 2.0
     COST_MERGE_JOIN = 1.0
-    COST_SORT = 2.0
+    #: Sort/merge/dispatch units alias the parallel-sort module's
+    #: constants so the runtime payoff gate and this model cannot drift
+    #: apart (they are documented as sharing one formula).
+    COST_SORT = parallel_sort.SORT_UNIT
     COST_DISTINCT = 3.0
     COST_AGGREGATE = 3.0
     COST_UNION = 0.05
-    COST_MERGE_COMBINE = 0.5
+    COST_MERGE_COMBINE = parallel_sort.MERGE_UNIT
     #: Per-tuple cost of applying a modify/delete to storage (serial:
     #: positional deltas are order-sensitive, so writes never fan out).
     COST_DML_WRITE = 0.5
     #: Fixed cost of dispatching work to one parallel worker.
-    COST_WORKER_DISPATCH = 10.0
+    COST_WORKER_DISPATCH = parallel_sort.DISPATCH_UNIT
 
     def __init__(
         self,
@@ -131,6 +135,40 @@ class CostModel:
         units = self._dml_scan_units(num_rows, num_predicate_columns)
         return self._parallel(units, float(num_rows)) < units
 
+    def sort_cost(self, num_rows: float) -> float:
+        """Cost of sorting ``num_rows``: the cheaper of the serial
+        n-log-n sort and the chunk-sort + k-way merge pipeline.
+
+        Shares the formula the runtime gate uses (see
+        :func:`repro.engine.parallel_sort.parallel_sort_cost`), so plan
+        decisions and execution agree on when a sort fans out.
+        """
+        serial = parallel_sort.serial_sort_cost(num_rows, self.COST_SORT)
+        if not self.sort_parallel_payoff(num_rows):
+            return serial
+        return parallel_sort.parallel_sort_cost(
+            num_rows,
+            self.parallelism,
+            self.morsel_rows,
+            sort_unit=self.COST_SORT,
+            merge_unit=self.COST_MERGE_COMBINE,
+            dispatch_unit=self.COST_WORKER_DISPATCH,
+        )
+
+    def sort_parallel_payoff(self, num_rows: float) -> bool:
+        """Whether a parallel chunk-sort undercuts the serial sort
+        (mirrors ``dml_parallel_payoff`` for the ORDER BY path)."""
+        if self.parallelism <= 1:
+            return False
+        return parallel_sort.sort_parallel_payoff(
+            num_rows,
+            self.parallelism,
+            self.morsel_rows,
+            sort_unit=self.COST_SORT,
+            merge_unit=self.COST_MERGE_COMBINE,
+            dispatch_unit=self.COST_WORKER_DISPATCH,
+        )
+
     def _local_cost(self, node: nodes.PlanNode) -> float:
         rows = estimate_rows(node, self.catalog)
         if isinstance(node, nodes.ScanNode):
@@ -156,8 +194,7 @@ class CostModel:
                 self.COST_HASH_BUILD * build + self.COST_HASH_PROBE * probe, probe
             )
         if isinstance(node, nodes.SortNode):
-            n = estimate_rows(node.child, self.catalog)
-            return self.COST_SORT * n * max(1.0, math.log2(max(n, 2.0)))
+            return self.sort_cost(estimate_rows(node.child, self.catalog))
         if isinstance(node, nodes.DistinctNode):
             return self.COST_DISTINCT * estimate_rows(node.child, self.catalog)
         if isinstance(node, nodes.AggregateNode):

@@ -139,14 +139,7 @@ class _ColumnAligningMergeUnion(ops.MergeUnion):
 
     def execute(self) -> Relation:
         rels_all = [op.execute() for op in self.inputs]
-        rels_all = _strip_unshared_rowid(rels_all)
-        rels = [r for r in rels_all if r.num_rows > 0]
-        if not rels:
-            return rels_all[0] if rels_all else Relation({})
-        merged = rels[0]
-        for other in rels[1:]:
-            merged = self._merge_two(merged, other)
-        return merged
+        return self._merge_all(_strip_unshared_rowid(rels_all))
 
 
 def _strip_unshared_rowid(rels) -> list:

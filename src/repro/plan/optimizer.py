@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.plan import nodes
 from repro.plan.cost import CostModel
 from repro.plan.rules import is_sorted_on, rewrite_distinct, rewrite_join, rewrite_sort
@@ -34,9 +35,11 @@ class Optimizer:
     use_cost_model:
         Gate rewrites on estimated cost; when False, every matching
         rewrite is applied (the paper's forced plans).
-    parallelism:
-        Worker count the cost model should assume (see
-        :class:`~repro.plan.cost.CostModel`).
+    parallelism / morsel_rows:
+        Worker count and morsel size the cost model should assume (see
+        :class:`~repro.plan.cost.CostModel`); both feed the parallel
+        payoff gates, e.g. ``sort_parallel_payoff`` deciding whether a
+        SortNode is costed as a fanned-out chunk-sort.
     """
 
     def __init__(
@@ -46,12 +49,15 @@ class Optimizer:
         zero_branch_pruning: bool = False,
         use_cost_model: bool = True,
         parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
     ) -> None:
         self.catalog = catalog
         self.index_manager = index_manager
         self.zero_branch_pruning = zero_branch_pruning
         self.use_cost_model = use_cost_model
-        self.cost_model = CostModel(catalog, parallelism=parallelism)
+        self.cost_model = CostModel(
+            catalog, parallelism=parallelism, morsel_rows=morsel_rows
+        )
 
     # ------------------------------------------------------------------
     def optimize(self, plan: nodes.PlanNode) -> nodes.PlanNode:

@@ -26,6 +26,7 @@ from repro.sql.parser import (
     parse_statement,
 )
 from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionedTable
 
 __all__ = ["SQLSession"]
 
@@ -45,10 +46,14 @@ class SQLSession:
         Forwarded to the optimizer.
     parallelism:
         Worker count for morsel-parallel execution of SELECT statements
+        (including ORDER BY, which runs as parallel chunk-sorts plus a
+        deterministic k-way merge gated by ``sort_parallel_payoff``)
         and UPDATE/DELETE predicate scans; ``1`` (the default) runs
         serially.  Also settable per session via the SQL statement
         ``SET parallelism = N``.  Parallel results are bit-identical to
-        serial execution.
+        serial execution.  DML addresses plain and partitioned tables
+        alike: matched global rowids route through
+        ``PartitionedTable.modify_global``/``delete_global``.
     morsel_rows:
         Rows per parallel work unit (see :mod:`repro.engine.parallel`).
     """
@@ -73,6 +78,7 @@ class SQLSession:
                 zero_branch_pruning=zero_branch_pruning,
                 use_cost_model=use_cost_model,
                 parallelism=parallelism,
+                morsel_rows=morsel_rows,
             )
         self.set_parallelism(parallelism)
 
@@ -235,7 +241,13 @@ class SQLSession:
             column: np.asarray(expr.evaluate(rel))
             for column, expr in stmt.assignments.items()
         }
-        table.modify(rowids, new_values)
+        if isinstance(table, PartitionedTable):
+            # matched rowids are global: split them onto the partitions'
+            # local rowid spaces (partition offsets are computed before
+            # any partition mutates, so the statement is atomic per §3.2)
+            table.modify_global(rowids, new_values)
+        else:
+            table.modify(rowids, new_values)
         return len(rowids)
 
     def _run_delete(self, stmt: DeleteStatement) -> int:
@@ -243,7 +255,10 @@ class SQLSession:
         rowids = self._predicate_rowids(table, stmt.predicate)
         if len(rowids) == 0:
             return 0
-        table.delete(rowids)
+        if isinstance(table, PartitionedTable):
+            table.delete_global(rowids)
+        else:
+            table.delete(rowids)
         return len(rowids)
 
 

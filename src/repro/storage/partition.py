@@ -114,6 +114,10 @@ class PartitionedTable:
         """Concatenated current-image column across partitions."""
         return np.concatenate([p.column(name) for p in self._partitions])
 
+    def rowids(self) -> np.ndarray:
+        """All current global rowIDs (0..num_rows), partition-major."""
+        return np.arange(self.num_rows, dtype=np.int64)
+
     def columns(self, names: Optional[Iterable[str]] = None) -> Dict[str, np.ndarray]:
         names = list(names) if names is not None else self.schema.names
         return {n: self.column(n) for n in names}

@@ -1,0 +1,429 @@
+"""Parallel sort determinism: bit-identity with the stable serial sort.
+
+The parallel sort engine (:mod:`repro.engine.parallel_sort`) promises
+output bit-identical to ``np.argsort(kind="stable")`` composed over the
+sort keys — the exact permutation :func:`serial_sort_permutation`
+produces — at any worker count.  This suite pins that contract over the
+edge cases that break naive parallel sorts: multi-key asc/desc mixes,
+all-equal keys (stability), NaN/None placement, empty and single-row
+inputs, ties straddling chunk boundaries, and randomized workloads at
+parallelism 1/2/8; plus the consumers (Sort operator, SQL ORDER BY over
+TPC-H, MergeUnion, MergeJoin, SortKey) and the payoff gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import Relation
+from repro.engine.operators import MergeJoin, MergeUnion, RelationSource, Sort
+from repro.engine.parallel import ExecutionContext
+from repro.engine.parallel_sort import (
+    merge_sorted_runs,
+    parallel_sort_cost,
+    serial_sort_cost,
+    serial_sort_permutation,
+    sort_parallel_payoff,
+    sort_permutation,
+)
+from repro.materialization.sortkey import SortKey
+from repro.sql.session import SQLSession
+from repro.storage import Catalog, PartitionedTable, Table
+from repro.workloads import generate_tpch
+
+PARALLELISMS = [1, 2, 8]
+#: Tiny morsels force many chunk runs (and merges) on test-sized input.
+CTX_KWARGS = dict(morsel_rows=64, min_parallel_rows=0)
+
+
+def make_context(parallelism: int) -> ExecutionContext:
+    return ExecutionContext(parallelism=parallelism, **CTX_KWARGS)
+
+
+def assert_perm_matches_serial(keys, ascending, parallelism):
+    want = serial_sort_permutation(keys, ascending)
+    with make_context(parallelism) as ctx:
+        got = sort_permutation(keys, ascending, context=ctx)
+    assert got.dtype == np.int64
+    np.testing.assert_array_equal(got, want)
+
+
+class TestSingleKey:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("ascending", [True, False])
+    def test_int_keys(self, parallelism, ascending):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 50, 1500).astype(np.int64)
+        assert_perm_matches_serial([keys], [ascending], parallelism)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("ascending", [True, False])
+    def test_float_keys_with_nan(self, parallelism, ascending):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 20, 1200).astype(np.float64)
+        keys[rng.random(1200) < 0.25] = np.nan
+        keys[rng.random(1200) < 0.05] = -0.0
+        assert_perm_matches_serial([keys], [ascending], parallelism)
+
+    def test_nan_sorts_last_and_ties_stay_stable(self):
+        keys = np.array([np.nan, 1.0, np.nan, 0.0, 1.0])
+        with make_context(8) as ctx:
+            perm = sort_permutation([keys], context=ctx)
+        assert perm.tolist() == [3, 1, 4, 0, 2]
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_all_equal_keys_is_identity(self, parallelism):
+        keys = np.zeros(700, dtype=np.int64)
+        with make_context(parallelism) as ctx:
+            asc = sort_permutation([keys], [True], context=ctx)
+            desc = sort_permutation([keys], [False], context=ctx)
+        np.testing.assert_array_equal(asc, np.arange(700))
+        # the serial reference reverses the stable order for descending
+        np.testing.assert_array_equal(desc, np.arange(700)[::-1])
+
+    def test_empty_and_single_row(self):
+        with make_context(8) as ctx:
+            for n in (0, 1):
+                keys = np.arange(n, dtype=np.int64)
+                perm = sort_permutation([keys], context=ctx)
+                np.testing.assert_array_equal(perm, np.arange(n))
+                assert perm.dtype == np.int64
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_chunk_boundary_ties(self, parallelism):
+        # constant blocks sized off the 64-row morsel so every tie group
+        # straddles at least one chunk boundary
+        keys = np.repeat(np.arange(12, dtype=np.int64), 96)
+        assert_perm_matches_serial([keys], [True], parallelism)
+        assert_perm_matches_serial([keys], [False], parallelism)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_presorted_and_reversed_input(self, parallelism):
+        keys = np.arange(900, dtype=np.int64)
+        assert_perm_matches_serial([keys], [True], parallelism)
+        assert_perm_matches_serial([keys[::-1].copy()], [True], parallelism)
+
+
+class TestMultiKey:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize(
+        "ascending",
+        [[True, True], [True, False], [False, True], [False, False]],
+    )
+    def test_two_key_direction_mixes(self, parallelism, ascending):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 8, 1000).astype(np.int64)
+        b = rng.integers(0, 8, 1000).astype(np.float64)
+        b[rng.random(1000) < 0.1] = np.nan
+        assert_perm_matches_serial([a, b], ascending, parallelism)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_three_keys_with_heavy_ties(self, parallelism):
+        rng = np.random.default_rng(4)
+        keys = [
+            rng.integers(0, 3, 1100).astype(np.int64),
+            rng.integers(0, 3, 1100).astype(np.int64),
+            rng.integers(0, 3, 1100).astype(np.float64),
+        ]
+        assert_perm_matches_serial(keys, [True, False, True], parallelism)
+
+    def test_all_ascending_matches_lexsort(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 5, 800).astype(np.int64)
+        b = rng.integers(0, 5, 800).astype(np.int64)
+        want = np.lexsort((b, a))
+        with make_context(8) as ctx:
+            got = sort_permutation([a, b], context=ctx)
+        np.testing.assert_array_equal(got, want)
+
+    def test_high_cardinality_code_combination_does_not_overflow(self):
+        # four ~2^40-cardinality keys: the rank-code product would wrap
+        # int64 if combined before re-densifying (regression: the wrap
+        # silently corrupted the permutation while staying under the
+        # post-combine guard)
+        rng = np.random.default_rng(13)
+        n = 60_000
+        keys = [rng.integers(0, 1 << 40, n).astype(np.int64) for _ in range(4)]
+        want = serial_sort_permutation(keys, [True] * 4)
+        with ExecutionContext(parallelism=4, morsel_rows=1024, min_parallel_rows=0) as ctx:
+            got = sort_permutation(keys, [True] * 4, context=ctx)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 2000))
+        nkeys = int(rng.integers(1, 4))
+        keys = []
+        for _ in range(nkeys):
+            if rng.integers(0, 2):
+                keys.append(rng.integers(-5, 5, n).astype(np.int64))
+            else:
+                k = rng.integers(0, 6, n).astype(np.float64) * 0.5
+                k[rng.random(n) < 0.15] = np.nan
+                keys.append(k)
+        ascending = [bool(rng.integers(0, 2)) for _ in range(nkeys)]
+        for parallelism in (2, 8):
+            assert_perm_matches_serial(keys, ascending, parallelism)
+
+
+class TestObjectAndNoneKeys:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_string_keys_identical_at_any_parallelism(self, parallelism):
+        rng = np.random.default_rng(6)
+        keys = np.array(rng.choice(["pear", "apple", "fig", "plum"], 500), dtype=object)
+        assert_perm_matches_serial([keys], [True], parallelism)
+        assert_perm_matches_serial([keys], [False], parallelism)
+
+    def test_none_sorts_last_and_ties_by_position(self):
+        keys = np.array(["b", None, "a", None, "b"], dtype=object)
+        want = serial_sort_permutation([keys], [True])
+        assert want.tolist() == [2, 0, 4, 1, 3]
+        with make_context(8) as ctx:
+            got = sort_permutation([keys], [True], context=ctx)
+        np.testing.assert_array_equal(got, want)
+
+    def test_none_first_under_descending(self):
+        keys = np.array([None, "a", "c", None], dtype=object)
+        want = serial_sort_permutation([keys], [False])
+        assert want.tolist() == [3, 0, 2, 1]
+
+
+class TestMergeSortedRuns:
+    def test_matches_stable_argsort_of_concat(self):
+        rng = np.random.default_rng(7)
+        runs = [np.sort(rng.integers(0, 30, int(rng.integers(0, 300)))) for _ in range(5)]
+        want = np.argsort(np.concatenate(runs), kind="stable")
+        with make_context(4) as ctx:
+            got = merge_sorted_runs(runs, context=ctx)
+        np.testing.assert_array_equal(got, want)
+
+    def test_ties_break_by_run_then_offset(self):
+        runs = [np.array([1, 1, 2]), np.array([1, 2]), np.array([0, 1])]
+        got = merge_sorted_runs(runs)
+        # 0 from run 2; then the 1s in (run, offset) order; the 2s likewise
+        assert got.tolist() == [5, 0, 1, 3, 6, 2, 4]
+
+    def test_empty_runs(self):
+        assert merge_sorted_runs([]).tolist() == []
+        got = merge_sorted_runs([np.array([], dtype=np.int64), np.array([3, 4])])
+        assert got.tolist() == [0, 1]
+
+
+class TestMapGrouped:
+    def test_order_preserved_and_grouping_applied(self):
+        with make_context(4) as ctx:
+            items = list(range(20))
+            keys = [i % 3 for i in items]
+            out = ctx.map_grouped(lambda x: x * x, items, keys)
+        assert out == [i * i for i in items]
+
+    def test_serial_context_runs_inline(self):
+        ctx = ExecutionContext(parallelism=1)
+        assert ctx.map_grouped(lambda x: -x, [1, 2, 3], [0, 0, 1]) == [-1, -2, -3]
+
+    def test_key_length_mismatch_rejected(self):
+        with make_context(2) as ctx:
+            with pytest.raises(ValueError):
+                ctx.map_grouped(lambda x: x, [1, 2], [0])
+
+
+class TestOperators:
+    def _relation(self, seed=8, n=1500):
+        rng = np.random.default_rng(seed)
+        return Relation(
+            {
+                "k": rng.integers(0, 40, n).astype(np.int64),
+                "f": rng.integers(0, 10, n).astype(np.float64),
+                "payload": np.arange(n, dtype=np.int64),
+            }
+        )
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_sort_operator_bit_identical(self, parallelism):
+        rel = self._relation()
+        want = Sort(RelationSource(rel), ["k", "f"], [True, False]).execute()
+        with make_context(parallelism) as ctx:
+            got = Sort(RelationSource(rel), ["k", "f"], [True, False]).bind_context(ctx).execute()
+        for name in want.column_names:
+            np.testing.assert_array_equal(want.column(name), got.column(name), err_msg=name)
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_merge_union_bit_identical(self, parallelism):
+        rng = np.random.default_rng(9)
+        rels = []
+        for i in range(3):
+            n = 400 + 100 * i
+            keys = np.sort(rng.integers(0, 25, n)).astype(np.int64)
+            rels.append(Relation({"k": keys, "src": np.full(n, i, dtype=np.int64)}))
+        want = MergeUnion([RelationSource(r) for r in rels], "k").execute()
+        with make_context(parallelism) as ctx:
+            got = (
+                MergeUnion([RelationSource(r) for r in rels], "k")
+                .bind_context(ctx)
+                .execute()
+            )
+        for name in want.column_names:
+            np.testing.assert_array_equal(want.column(name), got.column(name), err_msg=name)
+        # and the union is what stably re-sorting the concatenation gives
+        concat = Relation.concat(rels)
+        resorted = concat.take(np.argsort(concat.column("k"), kind="stable"))
+        np.testing.assert_array_equal(want.column("src"), resorted.column("src"))
+
+    def test_merge_union_descending(self):
+        a = Relation({"k": np.array([5.0, 3.0, 1.0])})
+        b = Relation({"k": np.array([4.0, 1.0])})
+        want = MergeUnion([RelationSource(a), RelationSource(b)], "k", ascending=False).execute()
+        assert want.column("k").tolist() == [5.0, 4.0, 3.0, 1.0, 1.0]
+
+    @pytest.mark.parametrize("parallelism", [1, 8])
+    def test_merge_join_self_heals_unsorted_build(self, parallelism):
+        rng = np.random.default_rng(10)
+        build = Relation(
+            {
+                "k": rng.permutation(np.arange(500)).astype(np.int64),
+                "w": rng.random(500),
+            }
+        )
+        probe = Relation(
+            {"k2": np.sort(rng.integers(0, 500, 800)).astype(np.int64)}
+        )
+        join = MergeJoin(RelationSource(build), RelationSource(probe), "k", "k2")
+        if parallelism > 1:
+            with make_context(parallelism) as ctx:
+                out = join.bind_context(ctx).execute()
+        else:
+            out = join.execute()
+        # every probe key matches exactly once and arrives in probe order
+        np.testing.assert_array_equal(out.column("k"), probe.column("k2"))
+        lookup = build.column("w")[np.argsort(build.column("k"), kind="stable")]
+        np.testing.assert_array_equal(out.column("w"), lookup[probe.column("k2")])
+
+
+class TestSQLOrderBy:
+    @pytest.fixture(scope="class")
+    def tpch_catalog(self):
+        catalog = Catalog()
+        generate_tpch(scale=0.002, seed=5).register(catalog)
+        return catalog
+
+    QUERIES = [
+        "SELECT * FROM lineitem ORDER BY l_extendedprice",
+        "SELECT * FROM lineitem ORDER BY l_discount DESC, l_orderkey",
+        "SELECT * FROM orders ORDER BY o_orderdate DESC",
+        "SELECT l_orderkey, l_suppkey FROM lineitem ORDER BY l_suppkey, l_orderkey DESC",
+    ]
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_order_by_bit_identical(self, tpch_catalog, parallelism):
+        serial = SQLSession(tpch_catalog)
+        with SQLSession(
+            tpch_catalog, parallelism=parallelism, morsel_rows=512
+        ) as parallel:
+            for sql in self.QUERIES:
+                want, got = serial.execute(sql), parallel.execute(sql)
+                assert want.column_names == got.column_names, sql
+                for name in want.column_names:
+                    a, b = want.column(name), got.column(name)
+                    assert a.dtype == b.dtype, (sql, name)
+                    np.testing.assert_array_equal(a, b, err_msg=f"{sql} / {name}")
+
+
+class TestSortKeyParallel:
+    def _partitioned(self, seed=11, n=4000, parts=4):
+        rng = np.random.default_rng(seed)
+        table = Table.from_arrays(
+            "sk_src",
+            {
+                "pk": np.arange(n, dtype=np.int64),
+                "v": rng.integers(0, 200, n).astype(np.int64),
+                "payload": rng.random(n),
+            },
+        )
+        return PartitionedTable.from_table(table, "pk", parts)
+
+    @pytest.mark.parametrize("ascending", [True, False])
+    def test_refresh_and_scan_bit_identical(self, ascending):
+        serial_sk = SortKey(self._partitioned(), "v", ascending=ascending,
+                            refresh_policy="manual")
+        parallel_sk = SortKey(self._partitioned(), "v", ascending=ascending,
+                              refresh_policy="manual", parallelism=4)
+        try:
+            for a, b in zip(serial_sk.sorted_parts, parallel_sk.sorted_parts):
+                for name in a.schema.names:
+                    np.testing.assert_array_equal(a.column(name), b.column(name))
+            sa, sb = serial_sk.scan_sorted(), parallel_sk.scan_sorted()
+            for name in sa:
+                np.testing.assert_array_equal(sa[name], sb[name], err_msg=name)
+        finally:
+            parallel_sk.detach()
+
+    def test_scan_permutation_is_cached_across_calls(self, monkeypatch):
+        sk = SortKey(self._partitioned(), "v", refresh_policy="manual")
+        first = sk.scan_sorted(["v"])
+        order = sk._scan_order
+        assert order is not None
+        import repro.materialization.sortkey as sortkey_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("permutation re-materialized")
+
+        monkeypatch.setattr(sortkey_mod, "merge_sorted_runs", boom)
+        second = sk.scan_sorted(["v", "payload"])
+        assert sk._scan_order is order
+        np.testing.assert_array_equal(first["v"], second["v"])
+
+    def test_refresh_invalidates_cached_permutation(self):
+        pt = self._partitioned()
+        sk = SortKey(pt, "v", refresh_policy="manual")
+        sk.scan_sorted(["v"])
+        assert sk._scan_order is not None
+        pt.partitions[0].modify(np.array([0]), {"v": np.array([999])})
+        sk.refresh()
+        assert sk._scan_order is None
+
+    def test_subset_scan_reads_only_referenced_columns(self, monkeypatch):
+        sk = SortKey(self._partitioned(), "v", refresh_policy="manual")
+        calls = []
+        original = Table.column
+
+        def spy(self, name):
+            calls.append(name)
+            return original(self, name)
+
+        monkeypatch.setattr(Table, "column", spy)
+        sk.scan_sorted(["v"])
+        # the key column drives the merge; no payload column is touched
+        assert set(calls) == {"v"}
+
+
+class TestPayoffGate:
+    def test_serial_context_never_pays_off(self):
+        assert not sort_parallel_payoff(10_000_000, parallelism=1)
+
+    def test_sub_morsel_input_never_pays_off(self):
+        assert not sort_parallel_payoff(30_000, parallelism=8, morsel_rows=65_536)
+        assert sort_parallel_payoff(30_000, parallelism=8, morsel_rows=1024)
+
+    def test_large_sorts_pay_off(self):
+        assert sort_parallel_payoff(4_000_000, parallelism=8)
+        assert parallel_sort_cost(4_000_000, 8) < serial_sort_cost(4_000_000)
+
+    def test_below_threshold_falls_back_to_serial_path(self):
+        # a context whose morsels exceed the input: the permutation is
+        # still correct and comes from the serial reference
+        keys = np.random.default_rng(12).integers(0, 50, 2000).astype(np.int64)
+        with ExecutionContext(parallelism=8, morsel_rows=65_536) as ctx:
+            got = sort_permutation([keys], context=ctx)
+        np.testing.assert_array_equal(got, serial_sort_permutation([keys]))
+
+    def test_cost_model_gate(self):
+        from repro.plan.cost import CostModel
+
+        catalog = Catalog()
+        serial = CostModel(catalog, parallelism=1)
+        parallel = CostModel(catalog, parallelism=8)
+        assert not serial.sort_parallel_payoff(4_000_000)
+        assert parallel.sort_parallel_payoff(4_000_000)
+        assert parallel.sort_cost(4_000_000) < serial.sort_cost(4_000_000)
+        # below the payoff point both models agree on the serial cost
+        assert parallel.sort_cost(10_000) == serial.sort_cost(10_000)
