@@ -872,10 +872,14 @@ class MergeUnion(Operator):
     Combines the already-sorted non-patch flow with the sorted patch
     flow without re-sorting the union: the inputs are treated as sorted
     runs and combined by the deterministic k-way merge of
-    :mod:`repro.engine.parallel_sort` (equal keys keep input order —
-    earlier input first, then within-input order), so the result is
-    bit-identical to stably re-sorting the concatenation, serial or
-    parallel.
+    :mod:`repro.engine.parallel_sort`.  Ascending, equal keys keep
+    input order (earlier input first, then within-input order) —
+    bit-identical to stably re-sorting the concatenation.  Descending,
+    the inputs must be non-increasing and equal keys take *reversed*
+    input order — bit-identical to the canonical reversed-stable
+    descending sort the ``Sort`` operator produces, for any orderable
+    key dtype (the former numeric-negation path limited descending
+    merges to int/float keys and could not express that tie rule).
     """
 
     def __init__(self, inputs: Sequence[Operator], key: str, ascending: bool = True) -> None:
@@ -896,9 +900,9 @@ class MergeUnion(Operator):
         if len(rels) == 1:
             return rels[0]
         run_keys = [r.column(self.key) for r in rels]
-        if not self.ascending:
-            run_keys = [-_orderable(k) for k in run_keys]
-        order = merge_sorted_runs(run_keys, context=self.context)
+        order = merge_sorted_runs(
+            run_keys, context=self.context, ascending=self.ascending
+        )
         return _take_with_context(Relation.concat(rels), order, self.context)
 
     def label(self) -> str:
@@ -1047,12 +1051,6 @@ def factorize_rows(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, np.ndarray
         combined = combined * card + inv
     _, first_idx, codes = np.unique(combined, return_index=True, return_inverse=True)
     return codes.astype(np.int64), first_idx.astype(np.int64)
-
-
-def _orderable(arr: np.ndarray) -> np.ndarray:
-    if arr.dtype.kind in "iuf":
-        return arr
-    raise TypeError("descending MergeUnion requires numeric keys")
 
 
 def _filled(n: int, like: np.ndarray, fill: float) -> np.ndarray:

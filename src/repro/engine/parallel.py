@@ -35,7 +35,7 @@ import dataclasses
 import operator
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = [
@@ -142,10 +142,19 @@ class ExecutionContext:
         Rows per morsel / per aggregation chunk.
     min_parallel_rows:
         Operators with fewer input rows stay serial.
+    external_workers:
+        Worker count of the *external lane* (see
+        :meth:`submit_external`); defaults to ``max(2, parallelism)``.
 
     The pool is created lazily on first use and shared by every operator
     bound to the context (and by concurrent queries of one session); it
     is safe to call :meth:`map` from several threads at once.
+
+    The context is designed as a *shared handle*: a multi-client
+    front-end (:class:`repro.sql.async_session.AsyncSQLSession`) creates
+    one context and hands it to its blocking session core, so every
+    client's morsel work multiplexes onto one worker pool instead of
+    each client spinning up its own.
     """
 
     def __init__(
@@ -153,16 +162,23 @@ class ExecutionContext:
         parallelism: Optional[int] = None,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS,
+        external_workers: Optional[int] = None,
     ) -> None:
         if parallelism is None:
             parallelism = os.cpu_count() or 1
         parallelism = validate_parallelism(parallelism)
         if morsel_rows < 1:
             raise ValueError("morsel_rows must be >= 1")
+        if external_workers is None:
+            external_workers = max(2, parallelism)
         self._parallelism = parallelism
         self.morsel_rows = int(morsel_rows)
         self.min_parallel_rows = int(min_parallel_rows)
+        self._external_workers = validate_parallelism(
+            external_workers, name="external_workers"
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._external: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._closed = False
 
@@ -256,16 +272,66 @@ class ExecutionContext:
         return out
 
     # ------------------------------------------------------------------
+    # external lane (statement-granular work)
+    # ------------------------------------------------------------------
+    @property
+    def external_workers(self) -> int:
+        """Worker count of the external lane."""
+        return self._external_workers
+
+    def _ensure_external(self) -> Optional[ThreadPoolExecutor]:
+        if self._external is None:
+            with self._pool_lock:
+                if self._closed:
+                    return None
+                if self._external is None:
+                    self._external = ThreadPoolExecutor(
+                        max_workers=self._external_workers,
+                        thread_name_prefix="repro-extern",
+                    )
+        return self._external
+
+    def submit_external(self, fn: Callable[..., R], *args, **kwargs) -> "Future[R]":
+        """Run ``fn`` on the external lane, returning its Future.
+
+        The external lane is a second, separately-sized pool for
+        *statement-granular* work — e.g. one client query dispatched off
+        an event loop — as opposed to the morsel-granular tasks
+        :meth:`map` fans out.  Keeping the lanes apart preserves the
+        executor's deadlock-freedom rule: morsel workers never block on
+        other morsel tasks, and a statement running on the external lane
+        may freely call :meth:`map` (the fan-out lands on the morsel
+        pool, not back on its own lane).  Unlike :meth:`map`, this works
+        at any ``parallelism`` including 1 — a serial context still
+        offers the lane so a front-end can push blocking statements off
+        its event loop.
+
+        Raises :class:`RuntimeError` once the context is closed.
+        """
+        pool = self._ensure_external()
+        if pool is None:
+            raise RuntimeError("cannot submit external work to a closed context")
+        return pool.submit(fn, *args, **kwargs)
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent and permanent).
+        """Shut both worker pools down (idempotent and permanent).
 
         In-flight :meth:`map` callers finish; later calls run inline.
+        In-flight external-lane work finishes; later
+        :meth:`submit_external` calls raise.
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            external, self._external = self._external, None
             self._closed = True
-        if pool is not None:
-            pool.shutdown(wait=True)
+        for p in (pool, external):
+            if p is not None:
+                # a pool thread closing its own context (e.g. a SET
+                # statement executing on the external lane) must not
+                # join itself; the interpreter reaps the workers.
+                wait = threading.current_thread() not in getattr(p, "_threads", ())
+                p.shutdown(wait=wait)
 
     def __enter__(self) -> "ExecutionContext":
         return self

@@ -271,30 +271,74 @@ def _kway_merge(
     return runs[0][0]
 
 
+def _reversed_run_order(keys: np.ndarray) -> np.ndarray:
+    """Ascending-stable argsort of a *non-increasing* run, in O(n).
+
+    A non-increasing run read back-to-front is ascending, but its equal
+    keys come out in reversed offset order — the stable tie rule wants
+    them ascending.  So instead of reversing elementwise, the run's
+    equal-key groups (contiguous by sortedness; NaN/NaT collapse into
+    one group, matching argsort's tie behavior) are emitted in reverse
+    *group* order with each group's offsets ascending.  This is the
+    bridge that lets the forward k-way merge consume descending runs
+    while reproducing ``np.argsort(kind="stable")`` bit-for-bit.
+    """
+    n = len(keys)
+    if n <= 1:
+        return np.arange(n, dtype=np.int64)
+    neq = keys[1:] != keys[:-1]
+    neq = _group_missing(neq, keys)
+    starts = np.concatenate([[0], np.flatnonzero(neq) + 1]).astype(np.int64)
+    lengths = np.diff(np.concatenate([starts, [n]]))
+    rev_starts = starts[::-1]
+    rev_lengths = lengths[::-1]
+    out_starts = np.concatenate([[0], np.cumsum(rev_lengths)[:-1]])
+    return np.repeat(rev_starts - out_starts, rev_lengths) + np.arange(n, dtype=np.int64)
+
+
 def merge_sorted_runs(
     run_keys: Sequence[np.ndarray],
     context: Optional[ExecutionContext] = None,
+    ascending: bool = True,
 ) -> np.ndarray:
     """Permutation merging already-sorted runs over their concatenation.
 
-    ``run_keys`` are ascending-sorted key arrays; the result indexes
-    into their concatenation and orders it ascending with equal keys
-    taken in ``(run index, within-run offset)`` order — bit-identical to
+    With ``ascending`` (the default), ``run_keys`` are ascending-sorted
+    key arrays; the result indexes into their concatenation and orders
+    it ascending with equal keys taken in ``(run index, within-run
+    offset)`` order — bit-identical to
     ``np.argsort(np.concatenate(run_keys), kind="stable")`` whenever
     each run is non-decreasing.  This is the merge the NSC flows need:
     per-partition sorted streams (``MergeUnion``, ``SortKey``) combine
     without re-sorting, and with a context the bracket's matches run on
     the worker pool.
+
+    With ``ascending=False``, ``run_keys`` are *non-increasing* runs and
+    the result is bit-identical to the canonical reversed-stable
+    descending order of the concatenation,
+    ``np.argsort(..., kind="stable")[::-1]`` — equal keys taken in
+    *decreasing* ``(run index, within-run offset)`` order, exactly what
+    the ``Sort`` operator and ``serial_sort_permutation`` produce for a
+    descending key.  Each run enters the tournament through its
+    ascending-stable view (:func:`_reversed_run_order`, O(run) — no
+    re-sort), the forward merge reconstructs the stable ascending
+    permutation, and one final reversal yields the descending order.
     """
     runs: List[Tuple[np.ndarray, np.ndarray]] = []
     offset = 0
     for keys in run_keys:
         keys = np.asarray(keys)
-        idx = np.arange(offset, offset + len(keys), dtype=np.int64)
+        if ascending:
+            idx = np.arange(offset, offset + len(keys), dtype=np.int64)
+        else:
+            local = _reversed_run_order(keys)
+            idx = local + offset
+            keys = keys[local]
         runs.append((idx, keys))
         offset += len(keys)
     ctx = context if context is not None and context.active else None
-    return _kway_merge(runs, ctx)
+    merged = _kway_merge(runs, ctx)
+    return merged if ascending else merged[::-1]
 
 
 # ----------------------------------------------------------------------

@@ -122,20 +122,19 @@ class SortKey:
 
         Computed once per refresh and cached: repeated scans — in
         particular scans requesting only a column subset — no longer
-        re-materialize the full permutation.  Ascending keys merge the
-        per-partition runs with the deterministic k-way merge (equal
-        keys by partition order, bit-identical to the stable argsort of
-        the concatenation); descending keys keep the reference
-        reversed-stable-argsort, whose tie order a forward run-merge
-        cannot express.
+        re-materialize the full permutation.  Both directions merge the
+        per-partition runs with the deterministic k-way merge: ascending
+        keys take equal keys in partition order (bit-identical to the
+        stable argsort of the concatenation), descending keys in
+        *reversed* partition order (bit-identical to the reversed-stable
+        argsort the serial reference used — the merge learned that tie
+        rule, so the full re-sort fallback is gone).
         """
         if self._scan_order is None:
             key_arrays = [p.column(self.column) for p in self.sorted_parts]
-            if self.ascending:
-                self._scan_order = merge_sorted_runs(key_arrays, context=self._context)
-            else:
-                merged_key = np.concatenate(key_arrays)
-                self._scan_order = np.argsort(merged_key, kind="stable")[::-1]
+            self._scan_order = merge_sorted_runs(
+                key_arrays, context=self._context, ascending=self.ascending
+            )
         return self._scan_order
 
     def scan_sorted(self, columns: Optional[List[str]] = None) -> dict:

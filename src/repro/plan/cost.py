@@ -75,6 +75,24 @@ class CostModel:
         child_cost = sum(self.cost(c) for c in node.children())
         return child_cost + self._local_cost(node)
 
+    def admission_cost(self, node: nodes.PlanNode) -> float:
+        """Cost hint for multi-client admission control.
+
+        The async session front-end
+        (:class:`repro.sql.async_session.AsyncSQLSession`) stamps every
+        prepared SELECT with this estimate at parse/plan time: it rides
+        along through the FIFO admission queue into the per-query stats,
+        so EXPLAIN-style introspection can relate a statement's queueing
+        delay to how much work the planner expected it to be.  It is a
+        *hint*, never a gate — a plan shape the model cannot cost (or a
+        stale statistics lookup) degrades to ``0.0`` rather than failing
+        admission of a perfectly executable query.
+        """
+        try:
+            return float(self.cost(node))
+        except (TypeError, KeyError, ValueError):
+            return 0.0
+
     def _parallel(self, cost_units: float, rows: float) -> float:
         """Scale a data-parallel operator's cost by achievable workers.
 

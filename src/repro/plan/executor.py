@@ -13,7 +13,7 @@ from repro.plan import nodes
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 
-__all__ = ["build_operator_tree", "execute_plan"]
+__all__ = ["build_operator_tree", "execute_plan", "explain_plan"]
 
 
 class _LoweringContext:
@@ -55,6 +55,41 @@ def execute_plan(
     if ROWID in result:
         result = result.drop([ROWID])
     return result
+
+
+def explain_plan(plan: nodes.PlanNode, catalog: Catalog, cost_model=None) -> str:
+    """Readable plan rendering annotated with optimizer estimates.
+
+    Extends ``plan.explain()`` with per-node estimated cardinalities
+    and, given a :class:`~repro.plan.cost.CostModel`, per-subtree cost
+    plus a closing ``admission cost hint`` line — the figure the async
+    session records for every query it admits.  Nodes the estimators
+    cannot handle render without annotations instead of failing, so the
+    introspection surface never breaks a working plan.
+    """
+    from repro.plan.stats import estimate_rows
+
+    lines = []
+
+    def walk(node: nodes.PlanNode, indent: int) -> None:
+        note = ""
+        try:
+            note = f"  [rows~{estimate_rows(node, catalog):,.0f}"
+            if cost_model is not None:
+                note += f", cost~{cost_model.cost(node):,.1f}"
+            note += "]"
+        except (TypeError, KeyError, ValueError):
+            note = ""
+        lines.append("  " * indent + node.label() + note)
+        for child in node.children():
+            walk(child, indent + 1)
+
+    walk(plan, 0)
+    if cost_model is not None:
+        lines.append(
+            f"admission cost hint: {cost_model.admission_cost(plan):,.1f} units"
+        )
+    return "\n".join(lines)
 
 
 def _lower(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:

@@ -7,8 +7,26 @@ maintenance.  Parsed queries lower onto :mod:`repro.plan` logical plans,
 so every PatchIndex rewrite applies transparently to SQL text.
 """
 
+from repro.sql.async_session import AsyncSQLSession, QueryStats
 from repro.sql.lexer import Token, TokenKind, tokenize
 from repro.sql.parser import SetStatement, parse_statement
-from repro.sql.session import SQLSession
+from repro.sql.session import (
+    ConcurrentSessionError,
+    PreparedStatement,
+    SQLSession,
+    classify_statement,
+)
 
-__all__ = ["tokenize", "Token", "TokenKind", "parse_statement", "SetStatement", "SQLSession"]
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_statement",
+    "SetStatement",
+    "SQLSession",
+    "AsyncSQLSession",
+    "QueryStats",
+    "PreparedStatement",
+    "ConcurrentSessionError",
+    "classify_statement",
+]

@@ -1,0 +1,477 @@
+"""Async multi-client session layer over the blocking SQL core.
+
+The ROADMAP's north star — heavy traffic from many concurrent clients —
+needs more than one blocking :class:`~repro.sql.session.SQLSession`:
+this module multiplexes many ``await session.execute(sql)`` callers
+onto **one** session core and **one**
+:class:`~repro.engine.parallel.ExecutionContext` worker pool.
+
+Scheduling discipline
+---------------------
+* Parse / classify / optimize runs on the event loop
+  (:meth:`SQLSession.prepare_parsed` is cheap and touches no table
+  data): parse and classification happen at arrival, the optimizer
+  runs only once the statement holds its execution slot — so rewrites
+  that snapshot live index state (zero-branch pruning reads patch
+  counts) see exactly the state execution will.  Execution is
+  dispatched to worker threads through the context's external lane
+  (:meth:`ExecutionContext.submit_external`, the
+  ``run_in_executor``-style entry point), where the numpy kernels
+  release the GIL.
+* Admission is a **fair FIFO queue** bounded by ``max_inflight``:
+  statements are admitted strictly in arrival order, so a burst of
+  cheap queries cannot starve an earlier expensive one, and at most
+  ``max_inflight`` statements occupy worker threads at once
+  (backpressure simply queues the rest).
+* Statements are classified (:func:`~repro.sql.session.
+  classify_statement`): **reads** run concurrently with each other,
+  while **writes** (INSERT / UPDATE / DELETE) and **session** knobs
+  (SET) serialize behind an async writer lock — a write is admitted
+  only once every in-flight statement drained, and admits nothing
+  until it commits.  In-flight reads therefore always observe a state
+  between two writes, never a half-applied statement: a write arriving
+  behind running reads waits for them, it does not interrupt them.
+* **Cooperative cancellation**: cancelling an ``execute`` while it is
+  still queued removes it before it ever starts (the statement never
+  runs); cancelling after dispatch lets the in-flight statement finish
+  on its thread (statement atomicity) while the awaiting caller
+  unblocks immediately — the admission slot is returned only when the
+  thread actually finishes, so ``max_inflight`` keeps meaning "threads
+  doing work".
+* Every query is timed: ``queued_ns`` (arrival → admission) and
+  ``exec_ns`` (on-thread execution), recorded together with the
+  planner's admission cost hint as :class:`QueryStats` and surfaced
+  through the EXPLAIN-style introspection (:meth:`AsyncSQLSession.
+  explain`, :meth:`AsyncSQLSession.profile`).
+
+Consistency contract
+--------------------
+Writes commit in admission (FIFO) order; ``commit_count`` numbers them.
+A read's :attr:`QueryStats.write_seq` is the number of writes that had
+committed when it started — because reads never overlap writes, every
+read observes exactly the state produced by that prefix of the write
+sequence, which is what the linearizability-style tests replay.
+
+All methods must be called from a single event loop; the blocking
+:class:`SQLSession` remains available for single-threaded scripts and
+raises :class:`~repro.sql.session.ConcurrentSessionError` when misused
+from several threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import dataclasses
+import time
+from typing import Deque, List, Optional, Tuple
+
+from repro.engine.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ExecutionContext,
+    validate_parallelism,
+)
+from repro.sql.parser import parse_statement
+from repro.sql.session import (
+    KIND_READ,
+    KIND_SESSION,
+    KIND_WRITE,
+    PreparedStatement,
+    SQLSession,
+    classify_statement,
+)
+from repro.storage.catalog import Catalog
+
+__all__ = ["AsyncSQLSession", "QueryStats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryStats:
+    """Timing and ordering record of one executed statement.
+
+    ``write_seq`` is the statement's position in the global write
+    order: for a committed write, its 1-based commit index; for a read
+    (or session statement), the number of writes committed when it
+    started — i.e. the exact write prefix whose state it observed.
+    """
+
+    sql: str
+    kind: str
+    cost_hint: float
+    queued_ns: int
+    exec_ns: int
+    write_seq: int
+
+
+class _Waiter:
+    __slots__ = ("future", "kind")
+
+    def __init__(self, future: "asyncio.Future[None]", kind: str) -> None:
+        self.future = future
+        self.kind = kind
+
+
+def _timed_run(session: SQLSession, prepared: PreparedStatement):
+    """Worker-thread body: run the statement and clock it."""
+    t0 = time.perf_counter_ns()
+    result = session.run_prepared(prepared)
+    return result, time.perf_counter_ns() - t0
+
+
+class AsyncSQLSession:
+    """``asyncio`` front-end multiplexing clients onto one session core.
+
+    Parameters
+    ----------
+    catalog / index_manager / zero_branch_pruning / use_cost_model:
+        Forwarded to the underlying :class:`SQLSession`.
+    parallelism / morsel_rows:
+        Morsel-parallel execution knobs; the async session creates one
+        shared :class:`ExecutionContext` with them and hands it to the
+        session core (pool handle sharing), so every client's morsel
+        work lands on the same pool.
+    max_inflight:
+        Admission bound: at most this many statements execute on worker
+        threads at once (also the external lane's thread count); the
+        rest wait in the FIFO queue.
+    stats_history:
+        How many per-query :class:`QueryStats` records to retain.
+
+    Usage::
+
+        async with AsyncSQLSession(catalog, parallelism=4) as db:
+            rows = await db.execute("SELECT COUNT(*) AS n FROM t")
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        index_manager=None,
+        zero_branch_pruning: bool = False,
+        use_cost_model: bool = True,
+        parallelism: int = 1,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        max_inflight: int = 8,
+        stats_history: int = 256,
+    ) -> None:
+        self._max_inflight = validate_parallelism(max_inflight, name="max_inflight")
+        self._context = ExecutionContext(
+            parallelism=parallelism,
+            morsel_rows=morsel_rows,
+            external_workers=self._max_inflight,
+        )
+        self._session = SQLSession(
+            catalog,
+            index_manager,
+            zero_branch_pruning=zero_branch_pruning,
+            use_cost_model=use_cost_model,
+            context=self._context,
+        )
+        self._queue: Deque[_Waiter] = collections.deque()
+        self._inflight = 0
+        self._active_reads = 0
+        self._writer_active = False
+        self._commit_seq = 0
+        self._stats: Deque[QueryStats] = collections.deque(maxlen=stats_history)
+        self._drain_waiters: List["asyncio.Future[None]"] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        return self._session.catalog
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def parallelism(self) -> int:
+        """Morsel worker count of the session core."""
+        return self._session.parallelism
+
+    @property
+    def inflight(self) -> int:
+        """Statements currently admitted (dispatched or executing)."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Statements waiting in the admission queue."""
+        return len(self._queue)
+
+    @property
+    def commit_count(self) -> int:
+        """Writes committed so far (the global write sequence length)."""
+        return self._commit_seq
+
+    def stats(self) -> List[QueryStats]:
+        """Per-query records, oldest first (bounded by stats_history)."""
+        return list(self._stats)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style introspection of one SELECT.
+
+        The cost-annotated plan (per-node cardinality/cost and the
+        admission cost hint), the live admission-queue state, and —
+        when this exact statement text ran before — its recorded
+        ``queued_ns`` / ``exec_ns`` timings.
+        """
+        text = self._session.explain(sql, costs=True)
+        lines = [
+            text,
+            (
+                f"admission: max_inflight={self._max_inflight} "
+                f"inflight={self._inflight} queued={len(self._queue)} "
+                f"writes_committed={self._commit_seq}"
+            ),
+        ]
+        runs = [s for s in self._stats if s.sql == sql]
+        if runs:
+            last = runs[-1]
+            lines.append(
+                f"last run: queued {last.queued_ns / 1e6:.3f} ms, "
+                f"exec {last.exec_ns / 1e6:.3f} ms "
+                f"({len(runs)} recorded run(s))"
+            )
+        return "\n".join(lines)
+
+    def profile(self) -> str:
+        """Formatted table of the recorded per-query stats."""
+        header = f"{'kind':<8} {'queued ms':>10} {'exec ms':>10} {'seq':>5}  sql"
+        lines = [header, "-" * len(header)]
+        for s in self._stats:
+            sql = s.sql if len(s.sql) <= 60 else s.sql[:57] + "..."
+            lines.append(
+                f"{s.kind:<8} {s.queued_ns / 1e6:>10.3f} "
+                f"{s.exec_ns / 1e6:>10.3f} {s.write_seq:>5}  {sql}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # FIFO admission
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Admit queued statements from the head (loop thread only).
+
+        Strict FIFO: the head is admitted or nothing is.  Consecutive
+        reads at the head batch up to ``max_inflight``; a write at the
+        head waits for every in-flight statement and then takes the
+        session exclusively.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.future.cancelled():
+                self._queue.popleft()
+                continue
+            if self._inflight >= self._max_inflight:
+                break
+            if head.kind == KIND_READ:
+                if self._writer_active:
+                    break
+                self._queue.popleft()
+                self._inflight += 1
+                self._active_reads += 1
+                head.future.set_result(None)
+            else:
+                if self._inflight > 0:
+                    break
+                self._queue.popleft()
+                self._inflight += 1
+                self._writer_active = True
+                head.future.set_result(None)
+                break
+        self._notify_drained()
+
+    def _release(self, kind: str) -> None:
+        self._inflight -= 1
+        if kind == KIND_READ:
+            self._active_reads -= 1
+        else:
+            self._writer_active = False
+        self._pump()
+
+    def _notify_drained(self) -> None:
+        if self._drain_waiters and not self._queue and self._inflight == 0:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for fut in waiters:
+                if not fut.done():
+                    fut.set_result(None)
+
+    async def _admit(self, kind: str) -> None:
+        """Wait in the FIFO queue for an execution slot.
+
+        Cancellation while waiting removes the entry — the statement is
+        never dispatched.  Cancellation racing the grant returns the
+        just-granted slot.
+        """
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(loop.create_future(), kind)
+        self._queue.append(waiter)
+        self._pump()
+        try:
+            await waiter.future
+        except asyncio.CancelledError:
+            if waiter.future.cancelled():
+                try:
+                    self._queue.remove(waiter)
+                except ValueError:
+                    pass
+                self._pump()
+            else:
+                # granted concurrently with the cancellation: the slot
+                # was never used, give it back
+                self._release(kind)
+            raise
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def execute(self, sql: str, with_stats: bool = False):
+        """Run one statement; returns what :meth:`SQLSession.execute`
+        returns (a Relation for SELECT, a row count for DML/SET).
+
+        ``with_stats=True`` returns ``(result, QueryStats)`` instead —
+        the hook the concurrency test subsystem uses to relate every
+        read to the write prefix it observed.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncSQLSession is closed")
+        # parse/classify at arrival (pure); optimize only once the slot
+        # is granted, so the plan snapshots index state (patch counts,
+        # zero-branch pruning) consistent with what execution will see —
+        # a read queued behind a write must be planned *after* it
+        stmt = parse_statement(sql)
+        kind = classify_statement(stmt)
+        t_arrival = time.perf_counter_ns()
+        await self._admit(kind)
+        queued_ns = time.perf_counter_ns() - t_arrival
+        prepared = self._session.prepare_parsed(stmt, sql)
+
+        if kind == KIND_SESSION:
+            # session knobs (SET) run inline on the loop: they are
+            # metadata-cheap, and swapping the execution context from a
+            # pool thread the context itself owns would be self-joining
+            try:
+                t0 = time.perf_counter_ns()
+                result = self._session.run_prepared(prepared)
+                exec_ns = time.perf_counter_ns() - t0
+            finally:
+                self._release(kind)
+            return self._finish(
+                prepared, queued_ns, exec_ns, self._commit_seq, result, with_stats
+            )
+
+        seq_at_start = self._commit_seq
+        future = self._context.submit_external(_timed_run, self._session, prepared)
+        try:
+            result, exec_ns = await asyncio.wrap_future(future)
+        except asyncio.CancelledError:
+            # the statement is already on a worker thread and will
+            # finish (statement atomicity); hold the slot until then
+            loop = asyncio.get_running_loop()
+            future.add_done_callback(
+                lambda f: loop.call_soon_threadsafe(self._finish_late, kind, f)
+            )
+            raise
+        except Exception:
+            self._release(kind)
+            raise
+        if kind == KIND_WRITE:
+            self._commit_seq += 1
+            seq = self._commit_seq
+        else:
+            seq = seq_at_start
+        self._release(kind)
+        return self._finish(prepared, queued_ns, exec_ns, seq, result, with_stats)
+
+    def _finish(
+        self,
+        prepared: PreparedStatement,
+        queued_ns: int,
+        exec_ns: int,
+        seq: int,
+        result,
+        with_stats: bool,
+    ):
+        stats = QueryStats(
+            sql=prepared.sql,
+            kind=prepared.kind,
+            cost_hint=prepared.cost_hint,
+            queued_ns=queued_ns,
+            exec_ns=exec_ns,
+            write_seq=seq,
+        )
+        self._stats.append(stats)
+        return (result, stats) if with_stats else result
+
+    def _finish_late(self, kind: str, future) -> None:
+        """Completion of a statement whose awaiter was cancelled.
+
+        ``future`` may itself be cancelled (the cancel can win the race
+        against the worker picking the item up) — check before touching
+        ``exception()``, which raises on a cancelled future; the slot
+        must be released on every path or the session deadlocks.
+        """
+        if (
+            kind == KIND_WRITE
+            and not future.cancelled()
+            and future.exception() is None
+        ):
+            # the mutation happened even though nobody awaited it
+            self._commit_seq += 1
+        self._release(kind)
+
+    async def gather(self, *statements: str) -> Tuple:
+        """Convenience: run several statements concurrently."""
+        return tuple(await asyncio.gather(*(self.execute(s) for s in statements)))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait until the queue is empty and nothing is in flight."""
+        while self._queue or self._inflight:
+            fut = asyncio.get_running_loop().create_future()
+            self._drain_waiters.append(fut)
+            await fut
+
+    async def aclose(self) -> None:
+        """Stop admitting new statements, drain, release the pools.
+
+        Queued statements still run to completion; only statements
+        submitted after ``aclose`` began are rejected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        self._session.close()
+        self._context.close()
+
+    def close(self) -> None:
+        """Synchronous teardown for use outside any event loop.
+
+        Must not be called while statements are queued or in flight —
+        use :meth:`aclose` from async code.
+        """
+        self._closed = True
+        if self._queue or self._inflight:
+            raise RuntimeError("statements still in flight; use aclose()")
+        self._session.close()
+        self._context.close()
+
+    async def __aenter__(self) -> "AsyncSQLSession":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AsyncSQLSession(parallelism={self.parallelism}, "
+            f"max_inflight={self._max_inflight}, inflight={self._inflight}, "
+            f"queued={len(self._queue)}, commits={self._commit_seq})"
+        )

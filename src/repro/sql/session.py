@@ -1,7 +1,27 @@
-"""SQL session: parse, optimize (PatchIndex rewrites) and execute."""
+"""SQL session: parse, optimize (PatchIndex rewrites) and execute.
+
+The execute pipeline is factored into two reusable halves so a
+concurrent front-end can multiplex many clients onto one session core:
+
+* :meth:`SQLSession.prepare` — parse, classify (read / write / session,
+  see :func:`classify_statement`), run the PatchIndex optimizer and
+  stamp an admission cost hint; pure and cheap, safe on an event loop.
+* :meth:`SQLSession.run_prepared` — execute a prepared statement; this
+  half carries no reentrancy guard and is the building block
+  :class:`repro.sql.async_session.AsyncSQLSession` schedules under its
+  own reader/writer discipline.
+
+:meth:`SQLSession.execute` composes the two behind a thread-ownership
+guard: the blocking session is **not thread-safe** (interleaved DML
+from several threads used to silently corrupt positional-delta state)
+and now rejects concurrent use with :class:`ConcurrentSessionError`
+instead.  Concurrent clients belong on ``AsyncSQLSession``.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from typing import Optional
 
 import numpy as np
@@ -14,21 +34,85 @@ from repro.engine.parallel import (
     row_chunks,
     validate_parallelism,
 )
+from repro.plan import nodes
 from repro.plan.cost import CostModel
-from repro.plan.executor import execute_plan
+from repro.plan.executor import execute_plan, explain_plan
 from repro.plan.optimizer import Optimizer
 from repro.sql.parser import (
     DeleteStatement,
     InsertStatement,
     SelectStatement,
     SetStatement,
+    Statement,
     UpdateStatement,
     parse_statement,
 )
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
 
-__all__ = ["SQLSession"]
+__all__ = [
+    "SQLSession",
+    "PreparedStatement",
+    "ConcurrentSessionError",
+    "classify_statement",
+    "KIND_READ",
+    "KIND_WRITE",
+    "KIND_SESSION",
+]
+
+#: Statement classes for concurrent scheduling: reads may run alongside
+#: other reads; writes (and session knobs) require exclusive access.
+KIND_READ = "read"
+KIND_WRITE = "write"
+KIND_SESSION = "session"
+
+
+class ConcurrentSessionError(RuntimeError):
+    """A second thread entered a blocking :class:`SQLSession`.
+
+    The blocking session owns mutable per-statement state (positional
+    delta maintenance, the execution-context swap of ``SET
+    parallelism``) and is strictly one-statement-at-a-time; interleaved
+    use from several threads used to corrupt DML state silently.  Use
+    :class:`repro.sql.async_session.AsyncSQLSession` for concurrent
+    clients — it multiplexes onto one session core with a proper
+    reader/writer discipline.
+    """
+
+
+def classify_statement(stmt: Statement) -> str:
+    """Concurrency class of a parsed statement.
+
+    ``read`` statements (SELECT) only observe table state and may run
+    concurrently with each other; ``write`` statements (INSERT / UPDATE
+    / DELETE) mutate storage and require exclusive access; ``session``
+    statements (SET) reconfigure the session itself — also exclusive,
+    since e.g. ``SET parallelism`` swaps the live execution context.
+    """
+    if isinstance(stmt, SelectStatement):
+        return KIND_READ
+    if isinstance(stmt, (InsertStatement, UpdateStatement, DeleteStatement)):
+        return KIND_WRITE
+    if isinstance(stmt, SetStatement):
+        return KIND_SESSION
+    raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PreparedStatement:
+    """A parsed, classified, optimized statement ready to run.
+
+    ``plan`` is the (optimizer-rewritten) logical plan for SELECTs and
+    ``None`` otherwise; ``cost_hint`` is the admission cost estimate
+    (see :meth:`repro.plan.cost.CostModel.admission_cost`) the async
+    front-end records per query.
+    """
+
+    sql: str
+    statement: Statement
+    kind: str
+    plan: Optional[nodes.PlanNode] = None
+    cost_hint: float = 0.0
 
 
 class SQLSession:
@@ -56,6 +140,16 @@ class SQLSession:
         ``PartitionedTable.modify_global``/``delete_global``.
     morsel_rows:
         Rows per parallel work unit (see :mod:`repro.engine.parallel`).
+    context:
+        An externally-owned :class:`ExecutionContext` to share (pool
+        handle sharing): the session runs its morsel work on the given
+        context instead of creating one, never closes it, and takes its
+        ``parallelism``/``morsel_rows`` knobs from it.  This is how
+        ``AsyncSQLSession`` multiplexes many clients onto one pool.
+
+    The blocking session executes one statement at a time; concurrent
+    :meth:`execute` calls from other threads raise
+    :class:`ConcurrentSessionError` (see the module docstring).
     """
 
     def __init__(
@@ -66,10 +160,16 @@ class SQLSession:
         use_cost_model: bool = True,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
         self.catalog = catalog
+        if context is not None:
+            parallelism = context.parallelism
+            morsel_rows = context.morsel_rows
         self._morsel_rows = morsel_rows
         self._context: Optional[ExecutionContext] = None
+        self._owns_context = True
+        self._exec_guard = threading.Lock()
         self.optimizer: Optional[Optimizer] = None
         if index_manager is not None:
             self.optimizer = Optimizer(
@@ -80,7 +180,10 @@ class SQLSession:
                 parallelism=parallelism,
                 morsel_rows=morsel_rows,
             )
-        self.set_parallelism(parallelism)
+        if context is not None:
+            self._attach_context(context)
+        else:
+            self.set_parallelism(parallelism)
 
     # ------------------------------------------------------------------
     # parallelism knob
@@ -90,23 +193,17 @@ class SQLSession:
         """Current worker count (1 = serial)."""
         return self._context.parallelism if self._context is not None else 1
 
-    def set_parallelism(self, parallelism: int) -> None:
-        """Reconfigure the session's worker count.
+    @property
+    def context(self) -> Optional[ExecutionContext]:
+        """The live execution context handle (``None`` when serial).
 
-        Replaces the execution context (shutting the old worker pool
-        down) and updates the optimizer's cost model so plan decisions
-        reflect the new worker count.  The worker count covers SELECT
-        and DML alike: UPDATE/DELETE predicate scans run morsel-parallel
-        on the same context.  Rejects non-integers and values below 1.
+        Exposed for pool handle sharing: a front-end may dispatch
+        statement-granular work onto the same context via
+        :meth:`ExecutionContext.submit_external`.
         """
-        parallelism = validate_parallelism(parallelism)
-        old, self._context = self._context, None
-        if old is not None:
-            old.close()
-        if parallelism > 1:
-            self._context = ExecutionContext(
-                parallelism=parallelism, morsel_rows=self._morsel_rows
-            )
+        return self._context
+
+    def _refresh_cost_models(self, parallelism: int) -> None:
         #: costs the DML predicate scan at the session's morsel size
         #: (the optimizer's model keeps the plan-level default)
         self._dml_cost_model = CostModel(
@@ -115,12 +212,42 @@ class SQLSession:
         if self.optimizer is not None:
             self.optimizer.cost_model.parallelism = parallelism
 
+    def _attach_context(self, context: ExecutionContext) -> None:
+        """Adopt a shared, externally-owned execution context."""
+        self._context = context
+        self._owns_context = False
+        self._refresh_cost_models(context.parallelism)
+
+    def set_parallelism(self, parallelism: int) -> None:
+        """Reconfigure the session's worker count.
+
+        Replaces the execution context (shutting the old worker pool
+        down when the session owns it; a shared context is merely
+        detached and stays open for its owner) and updates the
+        optimizer's cost model so plan decisions reflect the new worker
+        count.  The worker count covers SELECT and DML alike:
+        UPDATE/DELETE predicate scans run morsel-parallel on the same
+        context.  Rejects non-integers and values below 1.
+        """
+        parallelism = validate_parallelism(parallelism)
+        old, self._context = self._context, None
+        if old is not None and self._owns_context:
+            old.close()
+        self._owns_context = True
+        if parallelism > 1:
+            self._context = ExecutionContext(
+                parallelism=parallelism, morsel_rows=self._morsel_rows
+            )
+        self._refresh_cost_models(parallelism)
+
     def close(self) -> None:
         """Release the session's worker pool (the session stays usable
-        serially)."""
+        serially).  A shared context is detached, not closed — its
+        owner decides its lifetime."""
         old, self._context = self._context, None
-        if old is not None:
+        if old is not None and self._owns_context:
             old.close()
+        self._owns_context = True
 
     def __enter__(self) -> "SQLSession":
         return self
@@ -129,11 +256,69 @@ class SQLSession:
         self.close()
 
     # ------------------------------------------------------------------
-    def execute(self, sql: str):
-        """Run one statement; returns a Relation (SELECT) or a row count."""
-        stmt = parse_statement(sql)
+    # the reusable sync core: prepare + run_prepared
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse, classify and optimize one statement without running it.
+
+        Cheap relative to execution (no table data is touched), so a
+        concurrent front-end can prepare on its event loop and dispatch
+        only :meth:`run_prepared` to worker threads.  SELECT plans go
+        through the PatchIndex optimizer here, exactly as
+        :meth:`execute` would, and are stamped with the admission cost
+        hint; DML statements are costed from the target table's
+        cardinality and predicate width.
+        """
+        return self.prepare_parsed(parse_statement(sql), sql)
+
+    def prepare_parsed(self, stmt: Statement, sql: str = "") -> PreparedStatement:
+        """:meth:`prepare` for an already-parsed statement.
+
+        Lets a scheduler parse/classify at arrival but defer the
+        optimizer (whose rewrites snapshot live index state, e.g. patch
+        counts for zero-branch pruning) until the statement actually
+        holds its execution slot — so a read queued behind a write is
+        planned against the post-write state it will observe.
+        """
+        kind = classify_statement(stmt)
+        plan: Optional[nodes.PlanNode] = None
+        cost_hint = 0.0
         if isinstance(stmt, SelectStatement):
-            return self._run_select(stmt)
+            plan = stmt.plan
+            if self.optimizer is not None:
+                plan = self.optimizer.optimize(plan)
+            cost_hint = self._dml_cost_model.admission_cost(plan)
+        elif isinstance(stmt, (UpdateStatement, DeleteStatement)):
+            try:
+                table = self.catalog.table(stmt.table)
+            except KeyError:
+                table = None  # run_prepared raises the real error
+            if table is not None:
+                width = (
+                    len(expression_columns(stmt.predicate))
+                    if stmt.predicate is not None
+                    else 0
+                )
+                cost_hint = self._dml_cost_model.dml_scan_cost(
+                    table.num_rows, max(1, width)
+                )
+        return PreparedStatement(
+            sql=sql, statement=stmt, kind=kind, plan=plan, cost_hint=cost_hint
+        )
+
+    def run_prepared(self, prepared: PreparedStatement):
+        """Execute a prepared statement (no reentrancy guard).
+
+        This is the scheduling primitive: callers are responsible for
+        the concurrency discipline — ``AsyncSQLSession`` admits reads
+        concurrently and serializes writes behind its writer lock before
+        calling in here from worker threads.  Direct users should go
+        through :meth:`execute`.
+        """
+        stmt = prepared.statement
+        if isinstance(stmt, SelectStatement):
+            plan = prepared.plan if prepared.plan is not None else stmt.plan
+            return execute_plan(plan, self.catalog, context=self._context)
         if isinstance(stmt, InsertStatement):
             return self._run_insert(stmt)
         if isinstance(stmt, UpdateStatement):
@@ -144,22 +329,42 @@ class SQLSession:
             return self._run_set(stmt)
         raise TypeError(f"unhandled statement {type(stmt).__name__}")
 
-    def explain(self, sql: str) -> str:
-        """The (optimized) logical plan for a SELECT."""
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Run one statement; returns a Relation (SELECT) or a row count.
+
+        One statement at a time: a second thread calling in while a
+        statement is in flight gets :class:`ConcurrentSessionError`
+        (the blocking session is not thread-safe; concurrent clients
+        belong on ``AsyncSQLSession``).
+        """
+        if not self._exec_guard.acquire(blocking=False):
+            raise ConcurrentSessionError(
+                "another statement is already executing on this SQLSession; "
+                "the blocking session is not thread-safe — use "
+                "repro.sql.async_session.AsyncSQLSession for concurrent clients"
+            )
+        try:
+            return self.run_prepared(self.prepare(sql))
+        finally:
+            self._exec_guard.release()
+
+    def explain(self, sql: str, costs: bool = False) -> str:
+        """The (optimized) logical plan for a SELECT.
+
+        ``costs=True`` annotates each node with estimated cardinality
+        and cost and appends the admission cost hint (the figure the
+        async front-end records per admitted query).
+        """
         stmt = parse_statement(sql)
         if not isinstance(stmt, SelectStatement):
             raise ValueError("EXPLAIN supports SELECT statements only")
         plan = stmt.plan
         if self.optimizer is not None:
             plan = self.optimizer.optimize(plan)
+        if costs:
+            return explain_plan(plan, self.catalog, cost_model=self._dml_cost_model)
         return plan.explain()
-
-    # ------------------------------------------------------------------
-    def _run_select(self, stmt: SelectStatement) -> Relation:
-        plan = stmt.plan
-        if self.optimizer is not None:
-            plan = self.optimizer.optimize(plan)
-        return execute_plan(plan, self.catalog, context=self._context)
 
     def _run_set(self, stmt: SetStatement) -> int:
         name = stmt.name.lower()

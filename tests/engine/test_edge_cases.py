@@ -138,8 +138,10 @@ class TestMergeUnionEdges:
         out = MergeUnion([src(a=[1, 2, 2]), src(a=[2, 3])], "a").execute()
         assert out.column("a").tolist() == [1, 2, 2, 2, 3]
 
-    def test_descending_string_keys_rejected(self):
+    def test_descending_string_keys_merge(self):
+        # the former numeric-negation path raised TypeError here; the
+        # k-way merge now handles descending runs of any orderable dtype
         a = src(s=np.array(["b", "a"], dtype=object))
         b = src(s=np.array(["c"], dtype=object))
-        with pytest.raises(TypeError):
-            MergeUnion([a, b], "s", ascending=False).execute()
+        out = MergeUnion([a, b], "s", ascending=False).execute()
+        assert out.column("s").tolist() == ["c", "b", "a"]

@@ -125,3 +125,65 @@ class TestExecutionContext:
     def test_morsel_dataclass(self):
         m = Morsel(table=None, start=5, stop=9, rowid_offset=105)
         assert m.num_rows == 4
+
+
+class TestExternalLane:
+    """The statement-granular dispatch lane (``submit_external``)."""
+
+    def test_works_even_on_a_serial_context(self):
+        # parallelism=1 disables morsel fan-out but a front-end still
+        # needs somewhere to push blocking statements off its loop
+        with ExecutionContext(parallelism=1) as ctx:
+            assert not ctx.active
+            fut = ctx.submit_external(lambda a, b: a + b, 2, 3)
+            assert fut.result(timeout=10) == 5
+
+    def test_runs_off_the_calling_thread(self):
+        with ExecutionContext(parallelism=2) as ctx:
+            fut = ctx.submit_external(threading.get_ident)
+            assert fut.result(timeout=10) != threading.get_ident()
+
+    def test_external_work_may_fan_out_via_map(self):
+        # the lanes are separate pools, so statement-level work calling
+        # ctx.map cannot deadlock the morsel workers
+        with ExecutionContext(parallelism=2, min_parallel_rows=0) as ctx:
+            fut = ctx.submit_external(ctx.map, lambda x: x * x, list(range(6)))
+            assert fut.result(timeout=10) == [x * x for x in range(6)]
+
+    def test_external_workers_knob_and_default(self):
+        with ExecutionContext(parallelism=3) as ctx:
+            assert ctx.external_workers == 3
+        with ExecutionContext(parallelism=1) as ctx:
+            assert ctx.external_workers == 2
+        with ExecutionContext(parallelism=1, external_workers=5) as ctx:
+            assert ctx.external_workers == 5
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            ExecutionContext(parallelism=1, external_workers=0)
+
+    def test_submit_after_close_raises(self):
+        ctx = ExecutionContext(parallelism=2)
+        ctx.submit_external(lambda: None).result(timeout=10)
+        ctx.close()
+        import pytest as _pytest
+
+        with _pytest.raises(RuntimeError):
+            ctx.submit_external(lambda: None)
+
+    def test_close_waits_for_external_work(self):
+        ctx = ExecutionContext(parallelism=2)
+        done = []
+        gate = threading.Event()
+
+        def work():
+            gate.wait(10)
+            done.append(True)
+
+        fut = ctx.submit_external(work)
+        t = threading.Thread(target=ctx.close)
+        t.start()
+        gate.set()
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert fut.done() and done == [True]

@@ -209,6 +209,100 @@ class TestMergeSortedRuns:
         assert got.tolist() == [0, 1]
 
 
+class TestDescendingMergeSortedRuns:
+    """The k-way merge learned the reversed-stable tie rule: merging
+    non-increasing runs with ``ascending=False`` must be bit-identical
+    to ``np.argsort(concat, kind="stable")[::-1]`` — the reference the
+    descending SortKey scan-merge used to fall back to."""
+
+    def _descending_runs(self, rng, n_runs, with_nan=False):
+        runs = []
+        for _ in range(n_runs):
+            n = int(rng.integers(0, 300))
+            vals = rng.integers(0, 12, n).astype(np.float64)
+            if with_nan:
+                vals[rng.random(n) < 0.2] = np.nan
+            # canonical descending order (reversed-stable argsort)
+            runs.append(vals[serial_sort_permutation([vals], [False])])
+        return runs
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("with_nan", [False, True])
+    def test_matches_reversed_stable_argsort(self, parallelism, with_nan):
+        rng = np.random.default_rng(21)
+        for trial in range(5):
+            runs = self._descending_runs(rng, int(rng.integers(1, 6)), with_nan)
+            concat = np.concatenate(runs) if runs else np.array([])
+            want = np.argsort(concat, kind="stable")[::-1]
+            with make_context(parallelism) as ctx:
+                got = merge_sorted_runs(runs, context=ctx, ascending=False)
+            np.testing.assert_array_equal(got, want, err_msg=f"trial {trial}")
+
+    def test_ties_break_by_reversed_run_then_reversed_offset(self):
+        runs = [np.array([2, 1, 1]), np.array([2, 1]), np.array([1, 0])]
+        got = merge_sorted_runs(runs, ascending=False)
+        # the 2s in reversed run order; then every 1 in reversed
+        # (run, offset) order; the 0 last — exactly argsort[::-1]
+        concat = np.concatenate(runs)
+        np.testing.assert_array_equal(got, np.argsort(concat, kind="stable")[::-1])
+        assert got.tolist() == [3, 0, 5, 4, 2, 1, 6]
+
+    def test_string_runs_supported(self):
+        a = np.array(["pear", "fig", "apple"], dtype=object)
+        b = np.array(["kiwi", "apple"], dtype=object)
+        got = merge_sorted_runs([a, b], ascending=False)
+        concat = np.concatenate([a, b])
+        np.testing.assert_array_equal(got, np.argsort(concat, kind="stable")[::-1])
+
+    def test_empty_and_single_runs(self):
+        assert merge_sorted_runs([], ascending=False).tolist() == []
+        one = np.array([3, 3, 1], dtype=np.int64)
+        got = merge_sorted_runs([one], ascending=False)
+        np.testing.assert_array_equal(got, np.argsort(one, kind="stable")[::-1])
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_sortkey_descending_scan_merge_leaves_reference_path(
+        self, parallelism, monkeypatch
+    ):
+        """The descending SortKey scan-merge now runs the k-way merge
+        (bit-identically) instead of re-sorting the concatenation."""
+        from repro.materialization import sortkey as sortkey_mod
+        from repro.storage import Catalog, PartitionedTable, Table
+
+        rng = np.random.default_rng(22)
+        n = 4000
+        base = Table.from_arrays(
+            "m",
+            {
+                "mid": np.arange(n, dtype=np.int64),
+                "v": rng.integers(0, 50, n).astype(np.float64),
+            },
+        )
+        parts = PartitionedTable.from_table(base, "mid", 4)
+        ctx = make_context(parallelism) if parallelism > 1 else None
+
+        calls = []
+        real_argsort = np.argsort
+
+        def spying_argsort(*args, **kwargs):
+            calls.append(kwargs.get("kind"))
+            return real_argsort(*args, **kwargs)
+
+        sk = SortKey(parts, "v", ascending=False, context=ctx)
+        # reference: full reversed-stable argsort of the concatenation
+        concat = np.concatenate([p.column("v") for p in sk.sorted_parts])
+        want_order = real_argsort(concat, kind="stable")[::-1]
+        monkeypatch.setattr(sortkey_mod.np, "argsort", spying_argsort)
+        got = sk.scan_sorted(["v", "mid"])
+        assert not calls, "descending scan-merge fell back to a full argsort"
+        all_mid = np.concatenate([p.column("mid") for p in sk.sorted_parts])
+        np.testing.assert_array_equal(got["v"], concat[want_order])
+        np.testing.assert_array_equal(got["mid"], all_mid[want_order])
+        sk.detach()
+        if ctx is not None:
+            ctx.close()
+
+
 class TestMapGrouped:
     def test_order_preserved_and_grouping_applied(self):
         with make_context(4) as ctx:
