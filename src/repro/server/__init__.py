@@ -1,0 +1,39 @@
+"""Network front door: SQL over TCP on one shared session core.
+
+The server layer (see ``docs/architecture.md`` for where it sits and
+``docs/protocol.md`` for the normative wire protocol):
+
+* :mod:`repro.server.protocol` — length-prefixed JSON frame codec,
+  message tables, error codes.
+* :mod:`repro.server.server` — :class:`SQLServer`, the asyncio acceptor
+  multiplexing connections onto one
+  :class:`~repro.sql.async_session.AsyncSQLSession`.
+* :mod:`repro.server.client` — :class:`SQLClient` (blocking) and
+  :class:`AsyncSQLClient` (pipelined asyncio) drivers.
+"""
+
+from repro.server.client import AsyncSQLClient, ClientResult, ServerError, SQLClient
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+)
+from repro.server.server import SQLServer, validate_port
+from repro.sql.async_session import ServerClosedError
+
+__all__ = [
+    "SQLServer",
+    "SQLClient",
+    "AsyncSQLClient",
+    "ClientResult",
+    "ServerError",
+    "ServerClosedError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "ConnectionClosedError",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "validate_port",
+]

@@ -1,0 +1,406 @@
+"""Client drivers for the SQL server: blocking and asyncio variants.
+
+The shape follows PostBOUND's minimal SQL-over-connection drivers
+(connect → execute → rows): a few lines to issue a statement and read
+rows back, no ORM.  Both clients speak the ``docs/protocol.md`` wire
+protocol through the same codec the server uses
+(:mod:`repro.server.protocol`).
+
+* :class:`SQLClient` — blocking, one statement at a time; for scripts
+  and the quickstart example.
+* :class:`AsyncSQLClient` — asyncio, pipelined: many in-flight
+  statements per connection, matched to replies by statement id, with
+  cooperative :meth:`AsyncSQLClient.cancel`.
+
+Statement results arrive as :class:`ClientResult`; server-reported
+failures raise :class:`ServerError` carrying the wire error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.server import protocol
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER,
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    validate_message,
+    write_frame,
+)
+
+__all__ = ["ClientResult", "ServerError", "SQLClient", "AsyncSQLClient"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientResult:
+    """One statement's outcome as decoded from a ``result`` frame.
+
+    ``columns``/``rows`` are present for SELECTs and ``None`` for
+    DML/SET (whose ``row_count`` is the affected-row / setting value);
+    ``stats`` is the server session's per-query record (``queued_ns``,
+    ``exec_ns``, ``cost_hint``, ``write_seq``, ``kind``) when the
+    statement executed, ``None`` for ``prepare`` acknowledgements.
+    """
+
+    row_count: int
+    columns: Optional[List[str]] = None
+    rows: Optional[List[List[Any]]] = None
+    stats: Optional[Dict[str, Any]] = None
+
+    def scalar(self) -> Any:
+        """First column of the first row (convenience for aggregates)."""
+        if not self.rows or not self.rows[0]:
+            raise ValueError("result has no rows")
+        return self.rows[0][0]
+
+
+class ServerError(RuntimeError):
+    """A typed ``error`` frame from the server.
+
+    ``code`` is one of the spec's error codes (``auth``, ``protocol``,
+    ``too-large``, ``capacity``, ``sql``, ``unknown-prepared``,
+    ``cancelled``, ``server-closed``); ``fatal`` mirrors whether the
+    server closes the connection after it.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.fatal = code in protocol.FATAL_ERROR_CODES
+
+
+def _result_from_frame(frame: Dict) -> ClientResult:
+    """Convert a validated ``result`` frame into a :class:`ClientResult`."""
+    return ClientResult(
+        row_count=frame["row_count"],
+        columns=frame.get("columns"),
+        rows=frame.get("rows"),
+        stats=frame.get("stats"),
+    )
+
+
+def _hello(token: Optional[str]) -> Dict:
+    """Build the handshake frame."""
+    message: Dict = {"type": "hello", "version": PROTOCOL_VERSION}
+    if token is not None:
+        message["token"] = token
+    return message
+
+
+class SQLClient:
+    """Blocking driver: connect, execute, read rows — one at a time.
+
+    Usage::
+
+        with SQLClient("127.0.0.1", port, token="s3cret") as cli:
+            n = cli.execute("SELECT COUNT(*) AS n FROM t").scalar()
+
+    Parameters mirror the wire spec: ``token`` is the ``hello`` auth
+    token, ``timeout`` the socket timeout in seconds (``None`` blocks
+    indefinitely), ``max_frame_bytes`` the frame cap applied to both
+    directions.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._closed = False
+        try:
+            self._send(_hello(token))
+            frame = self._recv()
+            if frame.get("type") != "hello_ok":
+                self._raise_error(frame)
+            self.server_info = frame
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+
+    # ------------------------------------------------------------------
+    def _send(self, message: Dict) -> None:
+        self._sock.sendall(encode_frame(message, self._max_frame_bytes))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ConnectionClosedError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv(self) -> Dict:
+        (length,) = HEADER.unpack(self._recv_exact(HEADER.size))
+        if length > self._max_frame_bytes:
+            raise FrameTooLargeError(f"server frame of {length} bytes exceeds cap")
+        frame = decode_frame(self._recv_exact(length))
+        validate_message(frame, protocol.SERVER_MESSAGES)
+        return frame
+
+    def _raise_error(self, frame: Dict) -> None:
+        if frame.get("type") == "error":
+            raise ServerError(frame["code"], frame["error"])
+        if frame.get("type") == "goodbye":
+            raise ConnectionClosedError("server said goodbye")
+        raise ProtocolError(f"unexpected frame {frame.get('type')!r}")
+
+    def _roundtrip(self, message: Dict) -> ClientResult:
+        """Send one statement frame and block for its reply by id."""
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        self._send(message)
+        while True:
+            frame = self._recv()
+            if frame.get("id") == message["id"]:
+                if frame["type"] == "result":
+                    return _result_from_frame(frame)
+                self._raise_error(frame)
+            elif frame.get("type") in ("error", "goodbye"):
+                # connection-level failure (no id): fatal
+                self._raise_error(frame)
+            # stale reply to an older (cancelled/errored) id: skip
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ClientResult:
+        """Run one statement; blocks until its typed reply arrives."""
+        return self._roundtrip({"type": "query", "id": next(self._ids), "sql": sql})
+
+    def prepare(self, name: str, sql: str) -> ClientResult:
+        """Parse + classify ``sql`` server-side under ``name``."""
+        return self._roundtrip(
+            {"type": "prepare", "id": next(self._ids), "name": name, "sql": sql}
+        )
+
+    def run_prepared(self, name: str) -> ClientResult:
+        """Execute the statement previously :meth:`prepare`-d as ``name``."""
+        return self._roundtrip(
+            {"type": "run_prepared", "id": next(self._ids), "name": name}
+        )
+
+    def close(self) -> None:
+        """Send ``close``, wait for ``goodbye``, drop the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send({"type": "close"})
+            while True:
+                frame = self._recv()
+                if frame.get("type") == "goodbye":
+                    break
+        except (ConnectionError, OSError, ProtocolError, socket.timeout):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SQLClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncSQLClient:
+    """Asyncio driver with statement pipelining and cancellation.
+
+    Replies are matched to in-flight statements by id on a background
+    reader task, so many :meth:`execute` coroutines can overlap on one
+    connection — the client-side mirror of the server's per-connection
+    ``max_inflight``.  Build instances with :meth:`connect`::
+
+        cli = await AsyncSQLClient.connect("127.0.0.1", port)
+        rows = (await cli.execute("SELECT ... ")).rows
+        await cli.aclose()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        server_info: Dict,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.server_info = server_info
+        self._max_frame_bytes = max_frame_bytes
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._goodbye = asyncio.get_running_loop().create_future()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncSQLClient":
+        """Open a connection and complete the ``hello`` handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_frame(writer, _hello(token), max_frame_bytes)
+            frame = await read_frame(reader, max_frame_bytes)
+            if frame is None:
+                raise ConnectionClosedError("server closed during handshake")
+            validate_message(frame, protocol.SERVER_MESSAGES)
+            if frame["type"] == "error":
+                raise ServerError(frame["code"], frame["error"])
+            if frame["type"] != "hello_ok":
+                raise ProtocolError(f"expected hello_ok, got {frame['type']!r}")
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, frame, max_frame_bytes)
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        """Dispatch incoming frames to the waiting statement futures."""
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                frame = await read_frame(self._reader, self._max_frame_bytes)
+                if frame is None:
+                    break
+                validate_message(frame, protocol.SERVER_MESSAGES)
+                mtype = frame["type"]
+                if mtype == "goodbye":
+                    if not self._goodbye.done():
+                        self._goodbye.set_result(None)
+                    break
+                sid = frame.get("id")
+                # resolve but do not pop: the reply stays claimable by a
+                # later wait(); waiters remove their own entry
+                future = self._pending.get(sid) if sid is not None else None
+                if future is not None and not future.done():
+                    if mtype == "result":
+                        future.set_result(_result_from_frame(frame))
+                    else:
+                        future.set_exception(ServerError(frame["code"], frame["error"]))
+                elif mtype == "error" and sid is None:
+                    error = ServerError(frame["code"], frame["error"])
+                    break
+        except (ConnectionError, OSError, ProtocolError, asyncio.CancelledError) as exc:
+            error = exc
+        finally:
+            if error is None:
+                error = ConnectionClosedError("connection closed")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+            if not self._goodbye.done():
+                self._goodbye.set_result(None)
+
+    async def _send(self, message: Dict) -> None:
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        await write_frame(self._writer, message, self._max_frame_bytes)
+
+    def _register(self, sid: int) -> asyncio.Future:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[sid] = future
+        return future
+
+    async def _await_reply(self, sid: int) -> ClientResult:
+        """Claim the reply of ``sid`` (each reply is claimable once)."""
+        future = self._pending.get(sid)
+        if future is None:
+            raise KeyError(f"no in-flight statement with id {sid}")
+        try:
+            return await asyncio.shield(future)
+        finally:
+            self._pending.pop(sid, None)
+
+    # ------------------------------------------------------------------
+    async def submit(self, sql: str) -> int:
+        """Fire one ``query`` frame, returning its statement id.
+
+        The reply is claimed later with :meth:`wait` — the split lets a
+        caller overlap statements or :meth:`cancel` one in flight.
+        """
+        sid = next(self._ids)
+        self._register(sid)
+        await self._send({"type": "query", "id": sid, "sql": sql})
+        return sid
+
+    async def wait(self, sid: int) -> ClientResult:
+        """Await the reply of a :meth:`submit`-ted statement."""
+        return await self._await_reply(sid)
+
+    async def execute(self, sql: str) -> ClientResult:
+        """Run one statement (``submit`` + ``wait``)."""
+        return await self.wait(await self.submit(sql))
+
+    async def prepare(self, name: str, sql: str) -> ClientResult:
+        """Parse + classify ``sql`` server-side under ``name``."""
+        sid = next(self._ids)
+        self._register(sid)
+        await self._send({"type": "prepare", "id": sid, "name": name, "sql": sql})
+        return await self._await_reply(sid)
+
+    async def run_prepared(self, name: str) -> ClientResult:
+        """Execute the statement previously :meth:`prepare`-d as ``name``."""
+        sid = next(self._ids)
+        self._register(sid)
+        await self._send({"type": "run_prepared", "id": sid, "name": name})
+        return await self._await_reply(sid)
+
+    async def cancel(self, sid: int) -> None:
+        """Request cooperative cancellation of an in-flight statement.
+
+        Best-effort (spec §3.5): a queued statement is aborted and its
+        :meth:`wait` raises :class:`ServerError` with code
+        ``cancelled``; a statement already executing finishes atomically
+        server-side and may reply with its normal result instead.
+        """
+        await self._send({"type": "cancel", "target": sid})
+
+    async def aclose(self) -> None:
+        """Send ``close``, await the server's ``goodbye``, drop streams."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await write_frame(self._writer, {"type": "close"}, self._max_frame_bytes)
+            await asyncio.wait_for(asyncio.shield(self._goodbye), 10.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncSQLClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

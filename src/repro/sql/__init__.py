@@ -7,7 +7,7 @@ maintenance.  Parsed queries lower onto :mod:`repro.plan` logical plans,
 so every PatchIndex rewrite applies transparently to SQL text.
 """
 
-from repro.sql.async_session import AsyncSQLSession, QueryStats
+from repro.sql.async_session import AsyncSQLSession, QueryStats, ServerClosedError
 from repro.sql.lexer import Token, TokenKind, tokenize
 from repro.sql.parser import SetStatement, parse_statement
 from repro.sql.session import (
@@ -26,6 +26,7 @@ __all__ = [
     "SQLSession",
     "AsyncSQLSession",
     "QueryStats",
+    "ServerClosedError",
     "PreparedStatement",
     "ConcurrentSessionError",
     "classify_statement",

@@ -82,7 +82,23 @@ from repro.sql.session import (
 )
 from repro.storage.catalog import Catalog
 
-__all__ = ["AsyncSQLSession", "QueryStats"]
+__all__ = ["AsyncSQLSession", "QueryStats", "ServerClosedError"]
+
+
+class ServerClosedError(RuntimeError):
+    """The session (or the server fronting it) is shutting down.
+
+    Raised instead of a hung ``await`` for statements caught by a drain:
+    submitting after :meth:`AsyncSQLSession.aclose`/:meth:`AsyncSQLSession.
+    shutdown` began, or sitting in the admission queue when
+    :meth:`AsyncSQLSession.shutdown` aborted it.  The network layer maps
+    this onto the ``server-closed`` wire error code (see
+    ``docs/protocol.md``), so remote clients receive a typed frame
+    rather than a dropped connection.
+
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    guarded the pre-network close behavior.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -181,10 +197,12 @@ class AsyncSQLSession:
     # ------------------------------------------------------------------
     @property
     def catalog(self) -> Catalog:
+        """The catalog the shared session core executes against."""
         return self._session.catalog
 
     @property
     def max_inflight(self) -> int:
+        """Admission bound: statements executing concurrently at most."""
         return self._max_inflight
 
     @property
@@ -337,13 +355,23 @@ class AsyncSQLSession:
         the hook the concurrency test subsystem uses to relate every
         read to the write prefix it observed.
         """
-        if self._closed:
-            raise RuntimeError("AsyncSQLSession is closed")
         # parse/classify at arrival (pure); optimize only once the slot
         # is granted, so the plan snapshots index state (patch counts,
         # zero-branch pruning) consistent with what execution will see —
         # a read queued behind a write must be planned *after* it
-        stmt = parse_statement(sql)
+        return await self.execute_parsed(parse_statement(sql), sql, with_stats)
+
+    async def execute_parsed(self, stmt, sql: str, with_stats: bool = False):
+        """:meth:`execute` for an already-parsed statement.
+
+        The server front-end's prepared statements parse once at
+        ``prepare`` time and run many times through here — the deferred
+        half (optimize, then execute) still happens per run, under the
+        same admission discipline as :meth:`execute`, so a prepared
+        SELECT is planned against the index state its run will observe.
+        """
+        if self._closed:
+            raise ServerClosedError("AsyncSQLSession is closed")
         kind = classify_statement(stmt)
         t_arrival = time.perf_counter_ns()
         await self._admit(kind)
@@ -373,7 +401,9 @@ class AsyncSQLSession:
             # finish (statement atomicity); hold the slot until then
             loop = asyncio.get_running_loop()
             future.add_done_callback(
-                lambda f: loop.call_soon_threadsafe(self._finish_late, kind, f)
+                lambda f: loop.call_soon_threadsafe(
+                    self._finish_late, prepared, queued_ns, seq_at_start, f
+                )
             )
             raise
         except Exception:
@@ -407,21 +437,31 @@ class AsyncSQLSession:
         self._stats.append(stats)
         return (result, stats) if with_stats else result
 
-    def _finish_late(self, kind: str, future) -> None:
+    def _finish_late(
+        self, prepared: PreparedStatement, queued_ns: int, seq_at_start: int, future
+    ) -> None:
         """Completion of a statement whose awaiter was cancelled.
 
         ``future`` may itself be cancelled (the cancel can win the race
         against the worker picking the item up) — check before touching
         ``exception()``, which raises on a cancelled future; the slot
         must be released on every path or the session deadlocks.
+
+        A statement that did run still lands in :meth:`stats`: a write
+        that committed after its client vanished (e.g. a mid-query
+        disconnect at the server) must stay visible in the write log,
+        or the committed history could not be replayed.
         """
-        if (
-            kind == KIND_WRITE
-            and not future.cancelled()
-            and future.exception() is None
-        ):
-            # the mutation happened even though nobody awaited it
-            self._commit_seq += 1
+        kind = prepared.kind
+        if not future.cancelled() and future.exception() is None:
+            # the statement ran to completion even though nobody awaited it
+            result, exec_ns = future.result()
+            if kind == KIND_WRITE:
+                self._commit_seq += 1
+                seq = self._commit_seq
+            else:
+                seq = seq_at_start
+            self._finish(prepared, queued_ns, exec_ns, seq, result, False)
         self._release(kind)
 
     async def gather(self, *statements: str) -> Tuple:
@@ -437,6 +477,45 @@ class AsyncSQLSession:
             fut = asyncio.get_running_loop().create_future()
             self._drain_waiters.append(fut)
             await fut
+
+    def _abort_queued(self) -> int:
+        """Fail every statement still waiting for admission.
+
+        Their ``execute`` calls raise :class:`ServerClosedError` instead
+        of hanging until the (never-coming) slot grant; statements that
+        already hold a slot are untouched.  Returns how many were
+        aborted.
+        """
+        aborted = 0
+        while self._queue:
+            waiter = self._queue.popleft()
+            if not waiter.future.done():
+                waiter.future.set_exception(
+                    ServerClosedError(
+                        "session is draining; queued statement aborted"
+                    )
+                )
+                aborted += 1
+        self._notify_drained()
+        return aborted
+
+    async def shutdown(self) -> int:
+        """Graceful drain: stop admitting, abort queued, finish in-flight.
+
+        The server-shutdown variant of :meth:`aclose`: new statements
+        are rejected with :class:`ServerClosedError`, statements still
+        *queued* for admission are aborted with the same typed error
+        (they never ran, so the committed write order is untouched), and
+        statements already in flight run to completion before the worker
+        pools are released.  Returns the number of aborted statements.
+        Idempotent; :meth:`aclose` after ``shutdown`` is a no-op.
+        """
+        self._closed = True
+        aborted = self._abort_queued()
+        await self.drain()
+        self._session.close()
+        self._context.close()
+        return aborted
 
     async def aclose(self) -> None:
         """Stop admitting new statements, drain, release the pools.

@@ -14,6 +14,8 @@ class SQLSyntaxError(ValueError):
 
 
 class TokenKind(enum.Enum):
+    """Lexical category of a :class:`Token`."""
+
     KEYWORD = "keyword"
     IDENT = "ident"
     NUMBER = "number"
@@ -36,11 +38,14 @@ PUNCT = ["(", ")", ",", ".", ";"]
 
 @dataclasses.dataclass(frozen=True)
 class Token:
+    """One lexeme: its kind, source text, and character offset."""
+
     kind: TokenKind
     value: str
     position: int
 
     def matches(self, kind: TokenKind, value: str | None = None) -> bool:
+        """True if the token has this kind (and, if given, this value)."""
         if self.kind is not kind:
             return False
         return value is None or self.value == value

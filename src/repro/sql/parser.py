@@ -36,6 +36,8 @@ class SelectStatement:
 
 @dataclasses.dataclass
 class InsertStatement:
+    """A parsed ``INSERT INTO ... VALUES`` with literal rows."""
+
     table: str
     columns: List[str]
     rows: List[List[object]]
@@ -43,6 +45,8 @@ class InsertStatement:
 
 @dataclasses.dataclass
 class UpdateStatement:
+    """A parsed ``UPDATE ... SET`` with an optional predicate."""
+
     table: str
     assignments: Dict[str, Expression]
     predicate: Optional[Expression]
@@ -50,6 +54,8 @@ class UpdateStatement:
 
 @dataclasses.dataclass
 class DeleteStatement:
+    """A parsed ``DELETE FROM`` with an optional predicate."""
+
     table: str
     predicate: Optional[Expression]
 
@@ -110,6 +116,7 @@ class _Parser:
     # statements
     # ------------------------------------------------------------------
     def parse(self) -> Statement:
+        """Parse the token stream into exactly one statement."""
         if self._peek().matches(TokenKind.KEYWORD, "SELECT"):
             stmt = self._parse_select()
         elif self._peek().matches(TokenKind.KEYWORD, "INSERT"):

@@ -1,0 +1,59 @@
+"""No dead relative links in docs/*.md or README.md.
+
+Inline markdown links are collected with a small regex; every
+non-external target must resolve to an existing file (or directory)
+relative to the document that references it.  External links
+(http/https/mailto) are out of scope — CI should not depend on the
+network — as are pure in-page anchors.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+DOCUMENTS = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+#: inline links, excluding images; markdown reference-style links are
+#: not used in this repo.
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def relative_links(doc: pathlib.Path):
+    links = []
+    for target in LINK.findall(doc.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+def test_documents_exist():
+    assert DOCUMENTS, "no documents collected"
+    names = {d.name for d in DOCUMENTS}
+    assert {"README.md", "architecture.md", "protocol.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOCUMENTS, ids=lambda d: d.name)
+def test_no_dead_relative_links(doc):
+    dead = []
+    for target in relative_links(doc):
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            dead.append(target)
+    assert not dead, f"{doc.relative_to(REPO)} has dead links: {dead}"
+
+
+def test_readme_links_the_server_docs():
+    """The front-door docs are discoverable from the README."""
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    for needle in (
+        "docs/architecture.md",
+        "docs/protocol.md",
+        "examples/server_quickstart.py",
+    ):
+        assert needle in text, f"README does not reference {needle}"

@@ -1,0 +1,194 @@
+"""Unit tests for the wire-protocol codec (framing, validation)."""
+
+import asyncio
+import json
+import math
+import struct
+
+import pytest
+
+from repro.server.protocol import (
+    CLIENT_MESSAGES,
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CODES,
+    FATAL_ERROR_CODES,
+    HEADER,
+    SERVER_MESSAGES,
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    read_frame,
+    validate_message,
+)
+
+
+def roundtrip(message):
+    frame = encode_frame(message)
+    (length,) = HEADER.unpack(frame[: HEADER.size])
+    assert length == len(frame) - HEADER.size
+    return decode_frame(frame[HEADER.size :])
+
+
+class TestFraming:
+    def test_roundtrip_identity(self):
+        msg = {"type": "query", "id": 7, "sql": "SELECT 1 AS x FROM t"}
+        assert roundtrip(msg) == msg
+
+    def test_encoding_is_canonical_and_deterministic(self):
+        a = encode_frame({"type": "cancel", "target": 3})
+        b = encode_frame({"target": 3, "type": "cancel"})  # key order irrelevant
+        assert a == b
+        assert b" " not in a[HEADER.size :]
+
+    def test_length_prefix_is_big_endian_u32(self):
+        frame = encode_frame({"type": "close"})
+        assert frame[: HEADER.size] == struct.pack(">I", len(frame) - HEADER.size)
+
+    def test_non_finite_floats_roundtrip(self):
+        msg = {"type": "result", "id": 1, "row_count": 1, "rows": [[float("nan"), float("inf")]]}
+        out = roundtrip(msg)
+        assert math.isnan(out["rows"][0][0]) and math.isinf(out["rows"][0][1])
+
+    def test_encode_rejects_untyped_message(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1})
+
+    def test_encode_rejects_oversized_body(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"type": "query", "id": 1, "sql": "x" * 100}, max_frame_bytes=64)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"\xff\xfe not utf8 \x80",
+            b"{not json}",
+            b"[1,2,3]",
+            b'"a string"',
+            b"{}",
+            b'{"type":42}',
+        ],
+    )
+    def test_decode_rejects_garbage_bodies(self, body):
+        with pytest.raises(ProtocolError):
+            decode_frame(body)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("mtype", sorted(CLIENT_MESSAGES))
+    def test_client_specs_are_self_consistent(self, mtype):
+        msg = {"type": mtype}
+        for field, ftype in CLIENT_MESSAGES[mtype]:
+            msg[field] = 1 if ftype is int else "x"
+        assert validate_message(msg, CLIENT_MESSAGES) == mtype
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            validate_message({"type": "qurey", "id": 1, "sql": "x"}, CLIENT_MESSAGES)
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing field"):
+            validate_message({"type": "query", "id": 1}, CLIENT_MESSAGES)
+
+    def test_mistyped_field_rejected(self):
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate_message({"type": "query", "id": "1", "sql": "x"}, CLIENT_MESSAGES)
+
+    def test_bool_is_not_an_id(self):
+        with pytest.raises(ProtocolError, match="must be int"):
+            validate_message({"type": "query", "id": True, "sql": "x"}, CLIENT_MESSAGES)
+
+    def test_unknown_fields_ignored_for_forward_compat(self):
+        msg = {"type": "close", "future_field": [1, 2, 3]}
+        assert validate_message(msg, CLIENT_MESSAGES) == "close"
+
+    def test_server_and_client_tables_are_disjoint(self):
+        assert not set(CLIENT_MESSAGES) & set(SERVER_MESSAGES)
+
+    def test_error_frame_builder_enforces_codes(self):
+        frame = error_frame("sql", "boom", id=4)
+        assert validate_message(frame, SERVER_MESSAGES) == "error"
+        assert frame["id"] == 4
+        with pytest.raises(ValueError):
+            error_frame("no-such-code", "boom")
+
+    def test_fatal_codes_are_a_subset(self):
+        assert FATAL_ERROR_CODES < ERROR_CODES
+
+
+class TestStreamReading:
+    def run(self, coro):
+        return asyncio.run(asyncio.wait_for(coro, 30))
+
+    def feed(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_read_frame_roundtrip(self):
+        async def main():
+            msg = {"type": "hello", "version": 1}
+            return await read_frame(self.feed(encode_frame(msg)))
+
+        assert self.run(main()) == {"type": "hello", "version": 1}
+
+    def test_clean_eof_returns_none(self):
+        async def main():
+            return await read_frame(self.feed(b""))
+
+        assert self.run(main()) is None
+
+    def test_eof_inside_header_raises(self):
+        async def main():
+            await read_frame(self.feed(b"\x00\x00"))
+
+        with pytest.raises(ConnectionClosedError):
+            self.run(main())
+
+    def test_eof_inside_body_raises(self):
+        async def main():
+            frame = encode_frame({"type": "close"})
+            await read_frame(self.feed(frame[:-3]))
+
+        with pytest.raises(ConnectionClosedError):
+            self.run(main())
+
+    def test_oversized_declared_length_rejected_before_read(self):
+        async def main():
+            header = HEADER.pack(DEFAULT_MAX_FRAME_BYTES + 1)
+            await read_frame(self.feed(header))
+
+        with pytest.raises(FrameTooLargeError):
+            self.run(main())
+
+    def test_two_frames_back_to_back(self):
+        async def main():
+            data = encode_frame({"type": "close"}) + encode_frame({"type": "goodbye"})
+            reader = self.feed(data)
+            return await read_frame(reader), await read_frame(reader)
+
+        first, second = self.run(main())
+        assert first == {"type": "close"} and second == {"type": "goodbye"}
+
+
+def test_spec_field_tables_match_module_doc():
+    """The message tables drive both validation and the spec; pin the
+    full field inventory so a silent spec drift fails loudly."""
+    assert {m: [f for f, _ in spec] for m, spec in CLIENT_MESSAGES.items()} == {
+        "hello": ["version"],
+        "query": ["id", "sql"],
+        "prepare": ["id", "name", "sql"],
+        "run_prepared": ["id", "name"],
+        "cancel": ["target"],
+        "close": [],
+    }
+    assert {m: [f for f, _ in spec] for m, spec in SERVER_MESSAGES.items()} == {
+        "hello_ok": ["version"],
+        "result": ["id", "row_count"],
+        "error": ["code", "error"],
+        "goodbye": [],
+    }
+    json.dumps(sorted(ERROR_CODES))  # codes are JSON-serializable strings

@@ -1,0 +1,90 @@
+"""The spec's embedded frame examples run through the real codec.
+
+``docs/protocol.md`` is normative: every ```` ```json ```` block must
+be a valid protocol message, and the ```` ```hex ```` block following
+it must be that message's exact canonical frame bytes.  This test
+extracts the blocks and holds the codec to them — a codec change that
+invalidates the spec (or vice versa) fails here.
+"""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.server.protocol import (
+    CLIENT_MESSAGES,
+    SERVER_MESSAGES,
+    HEADER,
+    decode_frame,
+    encode_frame,
+    validate_message,
+)
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "protocol.md"
+
+FENCE = re.compile(r"```(json|hex)\n(.*?)```", re.DOTALL)
+
+ALL_MESSAGES = {**CLIENT_MESSAGES, **SERVER_MESSAGES}
+
+
+def doc_blocks():
+    """(kind, text) for every json/hex fenced block, in document order."""
+    text = DOC.read_text(encoding="utf-8")
+    return [(m.group(1), m.group(2)) for m in FENCE.finditer(text)]
+
+
+def doc_examples():
+    """Pair each json block with the hex block that follows it."""
+    blocks = doc_blocks()
+    examples = []
+    for i, (kind, body) in enumerate(blocks):
+        if kind != "json":
+            continue
+        message = json.loads(body)
+        frame = None
+        if i + 1 < len(blocks) and blocks[i + 1][0] == "hex":
+            frame = bytes.fromhex(blocks[i + 1][1].replace("\n", " "))
+        examples.append((message, frame))
+    return examples
+
+
+EXAMPLES = doc_examples()
+
+
+def test_doc_has_examples_for_every_message_type():
+    assert EXAMPLES, f"no examples found in {DOC}"
+    covered = {m["type"] for m, _ in EXAMPLES}
+    assert covered == set(ALL_MESSAGES), (
+        f"spec examples missing message types: {sorted(set(ALL_MESSAGES) - covered)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "message, frame",
+    EXAMPLES,
+    ids=[f"{i}-{m['type']}" for i, (m, _) in enumerate(EXAMPLES)],
+)
+def test_doc_example_roundtrips_through_codec(message, frame):
+    # every json example is a valid message on exactly one side
+    tables = [t for t in (CLIENT_MESSAGES, SERVER_MESSAGES) if message["type"] in t]
+    assert len(tables) == 1
+    validate_message(message, tables[0])
+    # the hex block is the canonical frame: encode matches byte for byte
+    assert frame is not None, f"{message['type']} example has no hex block"
+    assert encode_frame(message) == frame
+    # and the frame decodes back to the example message
+    (length,) = HEADER.unpack(frame[: HEADER.size])
+    assert length == len(frame) - HEADER.size
+    assert decode_frame(frame[HEADER.size :]) == message
+
+
+def test_doc_error_codes_match_module():
+    """§5's code table lists exactly the codes the module defines."""
+    from repro.server import protocol
+
+    text = DOC.read_text(encoding="utf-8")
+    section = text.split("## §5")[1].split("## §6")[0]
+    listed = set(re.findall(r"^\| `([a-z-]+)`", section, re.MULTILINE))
+    assert listed == set(protocol.ERROR_CODES)

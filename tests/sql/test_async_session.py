@@ -374,14 +374,16 @@ class TestCancellation:
 
         async def main():
             db = AsyncSQLSession(events_catalog(), max_inflight=1)
+            prepared = db._session.prepare("UPDATE events SET val = 0 WHERE grp < 0")
             cancelled = Future()
             assert cancelled.cancel()
             db._inflight = 1
             db._writer_active = True
-            db._finish_late(KIND_WRITE, cancelled)
+            db._finish_late(prepared, 0, 0, cancelled)
             assert db.inflight == 0
             assert not db._writer_active
             assert db.commit_count == 0  # the statement never ran
+            assert all(s.sql != prepared.sql for s in db.stats())
             # the session still schedules normally afterwards
             rel = await db.execute("SELECT COUNT(*) AS n FROM events")
             assert rel.column("n").tolist() == [5_000]
