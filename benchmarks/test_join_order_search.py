@@ -1,0 +1,132 @@
+"""Join-order search — DP vs greedy vs parser order on TPC-H joins.
+
+Runs multi-join TPC-H queries phrased with a deliberately bad parser
+order (fact table first) under the three ``join_order_search``
+strategies and reports, per query and strategy: planning time, the
+modeled plan cost, and execution wall time.
+
+Two properties are asserted:
+
+* all three strategies return bit-identical relations (reordering is
+  never allowed to change results), and
+* the DP order's modeled cost is never above the parser order's, and
+  strictly below it on at least one query (the search earns its keep).
+
+Set ``BENCH_QUICK=1`` to shrink the dataset (the CI smoke job).
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import format_table, time_fn, write_report
+from repro.core import PatchIndexManager
+from repro.plan.stats import analyze_table
+from repro.sql.session import SQLSession
+from repro.storage import Catalog
+from repro.workloads import generate_tpch
+
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
+TPCH_SCALE = 0.01 if QUICK else 0.05
+REPEATS = 2 if QUICK else 3
+STRATEGIES = ["off", "greedy", "dp"]
+
+QUERIES = [
+    (
+        "Q3 core, fact first",
+        "SELECT c_custkey, o_orderdate, l_extendedprice FROM lineitem "
+        "JOIN orders ON l_orderkey = o_orderkey "
+        "JOIN customer ON o_custkey = c_custkey",
+    ),
+    (
+        "Q10 core, fact first",
+        "SELECT n_name, c_custkey, l_extendedprice FROM lineitem "
+        "JOIN orders ON l_orderkey = o_orderkey "
+        "JOIN customer ON o_custkey = c_custkey "
+        "JOIN nation ON c_nationkey = n_nationkey",
+    ),
+    (
+        "Q5 core, 5-way",
+        "SELECT n_name, l_extendedprice FROM lineitem "
+        "JOIN orders ON l_orderkey = o_orderkey "
+        "JOIN customer ON o_custkey = c_custkey "
+        "JOIN supplier ON l_suppkey = s_suppkey "
+        "JOIN nation ON s_nationkey = n_nationkey",
+    ),
+]
+
+
+def tpch_catalog() -> Catalog:
+    catalog = Catalog()
+    generate_tpch(scale=TPCH_SCALE, seed=13).register(catalog)
+    for name in ("customer", "orders", "lineitem", "supplier", "nation"):
+        analyze_table(catalog, name)
+    return catalog
+
+
+def plan_cost(session: SQLSession, sql: str) -> float:
+    """Modeled cost of the plan the session would run for ``sql``."""
+    from repro.sql.parser import parse_statement
+
+    plan = parse_statement(sql).plan
+    plan, _ = session.optimizer.optimize_staged(plan)
+    return session.optimizer.cost_model.cost(plan)
+
+
+def run_strategies(catalog: Catalog):
+    rows, results = [], {}
+    with SQLSession(catalog, index_manager=PatchIndexManager(catalog)) as session:
+        for qname, sql in QUERIES:
+            for strategy in STRATEGIES:
+                session.execute(f"SET join_order_search = {strategy}")
+                plan_s = time_fn(
+                    lambda: session.prepare(sql), repeats=REPEATS, warmup=0
+                )
+                exec_s = time_fn(lambda: session.execute(sql), repeats=REPEATS)
+                cost = plan_cost(session, sql)
+                rows.append([qname, strategy, plan_s, cost, exec_s])
+                results[(qname, strategy)] = session.execute(sql)
+    return rows, results
+
+
+def assert_results_identical(results) -> None:
+    for qname, _ in QUERIES:
+        reference = results[(qname, "off")]
+        for strategy in STRATEGIES[1:]:
+            got = results[(qname, strategy)]
+            assert got.num_rows == reference.num_rows, qname
+            for name in reference.column_names:
+                np.testing.assert_array_equal(
+                    got.column(name),
+                    reference.column(name),
+                    err_msg=f"{qname} / {strategy} / {name}",
+                )
+
+
+def test_join_order(benchmark):
+    catalog = tpch_catalog()
+    rows, results = run_strategies(catalog)
+    assert_results_identical(results)
+
+    costs = {(qname, strategy): cost for qname, strategy, _, cost, _ in rows}
+    for qname, _ in QUERIES:
+        assert costs[(qname, "dp")] <= costs[(qname, "off")], qname
+    assert any(
+        costs[(qname, "dp")] < costs[(qname, "off")] for qname, _ in QUERIES
+    ), "DP never beat the parser order on any query"
+
+    lineitem_rows = catalog.table("lineitem").num_rows
+    report = format_table(
+        ["query", "strategy", "plan [s]", "modeled cost", "exec [s]"],
+        rows,
+        title=(
+            f"Join-order search: DP vs greedy vs parser order "
+            f"(scale={TPCH_SCALE}, lineitem={lineitem_rows})"
+        ),
+    )
+    write_report("join_order", report)
+
+    with SQLSession(catalog, index_manager=PatchIndexManager(catalog)) as session:
+        benchmark.pedantic(
+            lambda: session.execute(QUERIES[0][1]), rounds=1, iterations=1
+        )

@@ -17,7 +17,11 @@ import numpy as np
 from repro.engine.batch import ROWID, Relation
 from repro.engine.expressions import Expression, expression_columns
 from repro.engine.parallel import ExecutionContext, Morsel, row_chunks, table_morsels
-from repro.engine.parallel_sort import merge_sorted_runs, sort_permutation
+from repro.engine.parallel_sort import (
+    merge_sorted_runs,
+    serial_sort_permutation,
+    sort_permutation,
+)
 
 __all__ = [
     "Operator",
@@ -29,6 +33,7 @@ __all__ = [
     "HashJoin",
     "MergeJoin",
     "Sort",
+    "TopN",
     "Distinct",
     "GroupAggregate",
     "Union",
@@ -52,13 +57,24 @@ class Operator:
     #: class default) means serial execution.
     context: Optional[ExecutionContext] = None
 
+    #: Explicit execution-mode assignment from the plan-level operator
+    #: selection: ``"serial"`` keeps this operator off the parallel
+    #: paths (its context is never bound), ``"parallel"`` marks
+    #: eligibility (runtime gates still apply), ``None`` defers wholly
+    #: to the runtime heuristics.
+    forced_mode: Optional[str] = None
+
     def execute(self) -> Relation:
         """Produce the operator's full result relation."""
         raise NotImplementedError
 
     def bind_context(self, context: Optional[ExecutionContext]) -> "Operator":
-        """Attach an execution context to this subtree (returns self)."""
-        self.context = context
+        """Attach an execution context to this subtree (returns self).
+
+        An operator pinned serial by the optimizer (``forced_mode``)
+        stays unbound; its children still receive the context.
+        """
+        self.context = None if self.forced_mode == "serial" else context
         for child in self.children():
             child.bind_context(context)
         return self
@@ -210,7 +226,9 @@ class Scan(Operator):
         if self.predicate is not None or self._ranges:
             thunks = self.parallel_morsel_thunks()
             if thunks is not None:
-                return Relation.concat(ctx.map(_call, thunks))
+                return Relation.concat(
+                    ctx.map_grouped(_call, thunks, _morsel_affinity_keys(thunks, ctx))
+                )
         partitions = getattr(self.table, "partitions", None)
         if partitions is None:
             return self._scan_one(self.table, 0)
@@ -263,7 +281,11 @@ class PatchSelect(Operator):
             if thunks is not None:
                 patch_mask = np.asarray(self.mask_fn(), dtype=bool)
                 return Relation.concat(
-                    ctx.map(lambda t: self._keep(t(), patch_mask), thunks)
+                    ctx.map_grouped(
+                        lambda t: self._keep(t(), patch_mask),
+                        thunks,
+                        _morsel_affinity_keys(thunks, ctx),
+                    )
                 )
         rel = self.child.execute()
         patch_mask = np.asarray(self.mask_fn(), dtype=bool)
@@ -294,7 +316,13 @@ class Filter(Operator):
             # Fused scan→filter pipeline over the scan's morsels.
             thunks = self.child.parallel_morsel_thunks()
             if thunks is not None:
-                return Relation.concat(ctx.map(lambda t: self._apply(t()), thunks))
+                return Relation.concat(
+                    ctx.map_grouped(
+                        lambda t: self._apply(t()),
+                        thunks,
+                        _morsel_affinity_keys(thunks, ctx),
+                    )
+                )
         rel = self.child.execute()
         if ctx is not None and ctx.active:
             chunks = row_chunks(rel.num_rows, ctx.morsel_rows)
@@ -606,6 +634,69 @@ class Sort(Operator):
 
     def label(self) -> str:
         return f"Sort({self.keys})"
+
+
+class TopN(Operator):
+    """First ``n`` rows under a sort order, without a full sort.
+
+    Physical form of ``ORDER BY … LIMIT n`` chosen by the optimizer's
+    TopN selection link: the input is cut into chunks, each chunk
+    contributes its ``n`` best rows under the canonical stable order
+    (keys, then original position), and the surviving candidates are
+    stably sorted once.  Every row of the true top ``n`` is necessarily
+    within the top ``n`` of its own chunk, and restricting the total
+    order to the candidate set preserves it — so the result is
+    bit-identical to the full sort followed by a limit, chunked or not.
+    With a bound context the per-chunk selections fan out as morsel
+    tasks.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        ascending: Optional[Sequence[bool]],
+        n: int,
+    ) -> None:
+        if n < 0:
+            raise ValueError("top-n count must be non-negative")
+        self.child = child
+        self.keys = list(keys)
+        self.ascending = list(ascending) if ascending is not None else [True] * len(self.keys)
+        self.n = n
+
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def _chunk_top(self, rel: Relation, start: int, stop: int) -> np.ndarray:
+        """Global indices of chunk ``[start, stop)``'s best ``n`` rows."""
+        piece = _slice_relation(rel, start, stop)
+        order = serial_sort_permutation(
+            [piece.column(k) for k in self.keys], self.ascending
+        )
+        return (order[: self.n] + start).astype(np.int64)
+
+    def execute(self) -> Relation:
+        rel = self.child.execute()
+        if self.n == 0 or rel.num_rows == 0:
+            return rel.take(np.empty(0, dtype=np.int64))
+        ctx = self.context
+        chunk_rows = ctx.morsel_rows if ctx is not None else rel.num_rows
+        chunks = row_chunks(rel.num_rows, max(1, chunk_rows))
+        if ctx is not None and ctx.should_parallelize(rel.num_rows, len(chunks)):
+            parts = ctx.map(lambda c: self._chunk_top(rel, c[0], c[1]), chunks)
+        else:
+            parts = [self._chunk_top(rel, start, stop) for start, stop in chunks]
+        # ascending candidate indices keep the final stable sort equal to
+        # the restriction of the full-input stable sort
+        candidates = np.sort(np.concatenate(parts))
+        order = serial_sort_permutation(
+            [rel.column(k)[candidates] for k in self.keys], self.ascending
+        )
+        return rel.take(candidates[order[: self.n]])
+
+    def label(self) -> str:
+        return f"TopN({self.keys}, n={self.n})"
 
 
 class Distinct(Operator):
@@ -995,6 +1086,35 @@ class _ScanMorselThunk:
 
 def _call(thunk: Callable[[], Relation]) -> Relation:
     return thunk()
+
+
+def _morsel_affinity_keys(
+    thunks: Sequence[_ScanMorselThunk], ctx: ExecutionContext
+) -> List[Tuple[int, int]]:
+    """Partition-pinned affinity keys for scan-morsel dispatch.
+
+    Morsels of one table/partition share a key component, so
+    :meth:`~repro.engine.parallel.ExecutionContext.map_grouped` keeps a
+    partition's contiguous chunks (and the caches their processing
+    touches — minmax summaries, patch bitmaps) on one worker.  Each
+    partition is additionally striped into about
+    ``ceil(workers / partitions)`` contiguous runs: a group never spans
+    partitions, yet an unpartitioned table still fans out across the
+    pool instead of collapsing into one serial group.
+    """
+    counts: Dict[int, int] = {}
+    for t in thunks:
+        key = id(t.morsel.table)
+        counts[key] = counts.get(key, 0) + 1
+    stripes = max(1, -(-ctx.parallelism // len(counts)))
+    seen: Dict[int, int] = {}
+    keys: List[Tuple[int, int]] = []
+    for t in thunks:
+        key = id(t.morsel.table)
+        pos = seen.get(key, 0)
+        seen[key] = pos + 1
+        keys.append((key, pos * stripes // counts[key]))
+    return keys
 
 
 def _take_with_context(

@@ -11,13 +11,18 @@ forced, as done for the paper's forced-plan experiments).
 
 from __future__ import annotations
 
+from typing import Dict, Union
+
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.engine import parallel_sort
 from repro.plan import nodes
 from repro.plan.stats import estimate_rows
 from repro.storage.catalog import Catalog
 
-__all__ = ["CostModel"]
+__all__ = ["CostModel", "OperatorCost"]
+
+#: Shape of one per-operator cost entry (see :meth:`CostModel.operator_cost`).
+OperatorCost = Dict[str, Union[str, float]]
 
 
 class CostModel:
@@ -187,47 +192,98 @@ class CostModel:
             dispatch_unit=self.COST_WORKER_DISPATCH,
         )
 
-    def _local_cost(self, node: nodes.PlanNode) -> float:
+    def topn_cost(self, num_rows: float, n: float) -> float:
+        """Cost of selecting the first ``n`` rows under a sort order.
+
+        One linear selection pass over the input (per-chunk top-n) plus
+        a full sort of the surviving candidates.  Undercuts
+        :meth:`sort_cost` whenever ``n`` is small relative to the input,
+        which is what lets the TopN selection link replace
+        Limit-over-Sort only when the pushdown actually pays off.
+        """
+        candidates = min(float(n), float(num_rows))
+        return self.COST_SORT * float(num_rows) + parallel_sort.serial_sort_cost(
+            candidates, self.COST_SORT
+        )
+
+    def operator_cost(self, node: nodes.PlanNode) -> OperatorCost:
+        """Per-operator cost entry for one plan node.
+
+        Returns a dict with keys ``operator`` (short name),
+        ``cardinality`` (estimated output rows), ``time_per_row``
+        (marginal units per driving input row), ``startup`` (fixed units
+        spent before the first output row — hash-build work, blocking
+        sorts) and ``total``.  ``total`` is the authoritative figure the
+        optimizer compares (it includes parallel scaling, so it is not
+        always ``startup + time_per_row * cardinality``); the other keys
+        decompose it for EXPLAIN and the stage-2 selection links.
+        """
         rows = estimate_rows(node, self.catalog)
+        startup = 0.0
+        driving = rows
         if isinstance(node, nodes.ScanNode):
-            total = float(self.catalog.table(node.table).num_rows)
-            return self._parallel(self.COST_SCAN * total, total)
-        if isinstance(node, nodes.PatchScanNode):
-            total = float(node.index.num_rows)
-            return self._parallel(
-                self.COST_SCAN * total + self.COST_PATCH_SELECT * total, total
+            driving = float(self.catalog.table(node.table).num_rows)
+            total = self._parallel(self.COST_SCAN * driving, driving)
+        elif isinstance(node, nodes.PatchScanNode):
+            driving = float(node.index.num_rows)
+            total = self._parallel(
+                self.COST_SCAN * driving + self.COST_PATCH_SELECT * driving, driving
             )
-        if isinstance(node, nodes.FilterNode):
-            child_rows = estimate_rows(node.child, self.catalog)
-            return self._parallel(self.COST_FILTER * child_rows, child_rows)
-        if isinstance(node, nodes.ProjectNode):
-            return self.COST_PROJECT * rows
-        if isinstance(node, nodes.JoinNode):
+        elif isinstance(node, nodes.FilterNode):
+            driving = estimate_rows(node.child, self.catalog)
+            total = self._parallel(self.COST_FILTER * driving, driving)
+        elif isinstance(node, nodes.ProjectNode):
+            total = self.COST_PROJECT * rows
+        elif isinstance(node, nodes.JoinNode):
             left = estimate_rows(node.left, self.catalog)
             right = estimate_rows(node.right, self.catalog)
             if node.algorithm == "merge":
-                return self.COST_MERGE_JOIN * (left + right)
-            build, probe = min(left, right), max(left, right)
-            return self._parallel(
-                self.COST_HASH_BUILD * build + self.COST_HASH_PROBE * probe, probe
-            )
-        if isinstance(node, nodes.SortNode):
-            return self.sort_cost(estimate_rows(node.child, self.catalog))
-        if isinstance(node, nodes.DistinctNode):
-            return self.COST_DISTINCT * estimate_rows(node.child, self.catalog)
-        if isinstance(node, nodes.AggregateNode):
-            child_rows = estimate_rows(node.child, self.catalog)
-            return self._parallel(self.COST_AGGREGATE * child_rows, child_rows)
-        if isinstance(node, nodes.LimitNode):
-            return 0.0
-        if isinstance(node, nodes.UnionNode):
-            return self.COST_UNION * rows
-        if isinstance(node, nodes.MergeCombineNode):
-            return self.COST_MERGE_COMBINE * rows
-        if isinstance(node, nodes.ReuseCacheNode):
+                driving = left + right
+                total = self.COST_MERGE_JOIN * (left + right)
+            else:
+                build, probe = min(left, right), max(left, right)
+                driving = probe
+                startup = self.COST_HASH_BUILD * build
+                total = self._parallel(
+                    self.COST_HASH_BUILD * build + self.COST_HASH_PROBE * probe, probe
+                )
+        elif isinstance(node, nodes.SortNode):
+            driving = estimate_rows(node.child, self.catalog)
+            total = self.sort_cost(driving)
+            startup = total  # blocking: all work happens before the first row
+        elif isinstance(node, nodes.TopNNode):
+            driving = estimate_rows(node.child, self.catalog)
+            total = self.topn_cost(driving, float(node.n))
+            startup = total  # blocking, like the sort it replaces
+        elif isinstance(node, nodes.DistinctNode):
+            driving = estimate_rows(node.child, self.catalog)
+            total = self.COST_DISTINCT * driving
+        elif isinstance(node, nodes.AggregateNode):
+            driving = estimate_rows(node.child, self.catalog)
+            total = self._parallel(self.COST_AGGREGATE * driving, driving)
+        elif isinstance(node, nodes.LimitNode):
+            total = 0.0
+        elif isinstance(node, nodes.UnionNode):
+            total = self.COST_UNION * rows
+        elif isinstance(node, nodes.MergeCombineNode):
+            total = self.COST_MERGE_COMBINE * rows
+        elif isinstance(node, nodes.ReuseCacheNode):
             # materialization write (the child's cost is added separately)
-            return self.COST_PROJECT * rows
-        if isinstance(node, nodes.ReuseLoadNode):
+            total = self.COST_PROJECT * rows
+        elif isinstance(node, nodes.ReuseLoadNode):
             # read of an already-materialized result
-            return self.COST_PROJECT * rows
-        raise TypeError(f"no cost formula for {type(node).__name__}")
+            total = self.COST_PROJECT * rows
+        else:
+            raise TypeError(f"no cost formula for {type(node).__name__}")
+        name = type(node).__name__
+        per_row = max(0.0, total - startup) / driving if driving > 0 else 0.0
+        return {
+            "operator": name[:-4] if name.endswith("Node") else name,
+            "cardinality": rows,
+            "time_per_row": per_row,
+            "startup": startup,
+            "total": total,
+        }
+
+    def _local_cost(self, node: nodes.PlanNode) -> float:
+        return float(self.operator_cost(node)["total"])

@@ -57,21 +57,25 @@ def execute_plan(
     return result
 
 
-def explain_plan(plan: nodes.PlanNode, catalog: Catalog, cost_model=None) -> str:
+def explain_plan(plan: nodes.PlanNode, catalog: Catalog, cost_model=None, report=None) -> str:
     """Readable plan rendering annotated with optimizer estimates.
 
     Extends ``plan.explain()`` with per-node estimated cardinalities
     and, given a :class:`~repro.plan.cost.CostModel`, per-subtree cost
     plus a closing ``admission cost hint`` line — the figure the async
-    session records for every query it admits.  Nodes the estimators
-    cannot handle render without annotations instead of failing, so the
-    introspection surface never breaks a working plan.
+    session records for every query it admits.  A staged
+    :class:`~repro.plan.optimizer.OptimizationReport` appends the
+    join-order decisions and per-node operator assignments (with their
+    cost dicts).  Nodes the estimators cannot handle render without
+    annotations instead of failing, so the introspection surface never
+    breaks a working plan.
     """
     from repro.plan.stats import estimate_rows
 
     lines = []
 
     def walk(node: nodes.PlanNode, indent: int) -> None:
+        """Render one node (plus annotations) and recurse."""
         note = ""
         try:
             note = f"  [rows~{estimate_rows(node, catalog):,.0f}"
@@ -85,6 +89,8 @@ def explain_plan(plan: nodes.PlanNode, catalog: Catalog, cost_model=None) -> str
             walk(child, indent + 1)
 
     walk(plan, 0)
+    if report is not None:
+        lines.extend(report.describe(plan))
     if cost_model is not None:
         lines.append(
             f"admission cost hint: {cost_model.admission_cost(plan):,.1f} units"
@@ -93,6 +99,16 @@ def explain_plan(plan: nodes.PlanNode, catalog: Catalog, cost_model=None) -> str
 
 
 def _lower(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:
+    op = _lower_node(plan, ctx)
+    if plan.exec_mode is not None:
+        # stage-2 operator assignment: honor the planned execution mode
+        # instead of re-deriving it ("serial" keeps the operator off the
+        # parallel paths; "parallel" marks eligibility)
+        op.forced_mode = plan.exec_mode
+    return op
+
+
+def _lower_node(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:
     if isinstance(plan, nodes.ScanNode):
         table = ctx.catalog.table(plan.table)
         return ops.Scan(table, columns=plan.columns, predicate=plan.predicate)
@@ -121,6 +137,8 @@ def _lower(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:
         return ops.GroupAggregate(_lower(plan.child, ctx), plan.group_keys, plan.aggregates)
     if isinstance(plan, nodes.SortNode):
         return ops.Sort(_lower(plan.child, ctx), plan.keys, plan.ascending)
+    if isinstance(plan, nodes.TopNNode):
+        return ops.TopN(_lower(plan.child, ctx), plan.keys, plan.ascending, plan.n)
     if isinstance(plan, nodes.LimitNode):
         return ops.Limit(_lower(plan.child, ctx), plan.n)
     if isinstance(plan, nodes.UnionNode):

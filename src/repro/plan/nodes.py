@@ -21,6 +21,7 @@ __all__ = [
     "DistinctNode",
     "AggregateNode",
     "SortNode",
+    "TopNNode",
     "LimitNode",
     "UnionNode",
     "MergeCombineNode",
@@ -30,12 +31,24 @@ __all__ = [
 
 
 class PlanNode:
-    """Base class for logical plan nodes."""
+    """Base class for logical plan nodes.
+
+    ``exec_mode`` is an operator-assignment annotation written by the
+    stage-2 physical operator selection (:mod:`repro.plan.selection`):
+    ``"serial"`` pins the lowered operator to the serial path,
+    ``"parallel"`` marks it eligible for morsel fan-out, and ``None``
+    (the default) leaves the decision to the executor's runtime gates.
+    """
+
+    #: Physical execution-mode annotation ("serial" / "parallel" / None).
+    exec_mode: Optional[str] = None
 
     def children(self) -> List["PlanNode"]:
+        """Child nodes, left to right (empty for leaves)."""
         return []
 
     def label(self) -> str:
+        """One-line node description used in plan renderings."""
         return type(self).__name__
 
     def explain(self, indent: int = 0) -> str:
@@ -60,6 +73,7 @@ class ScanNode(PlanNode):
         self.predicate = predicate
 
     def label(self) -> str:
+        """One-line node description."""
         pred = f", pred={self.predicate!r}" if self.predicate is not None else ""
         return f"Scan({self.table}{pred})"
 
@@ -92,6 +106,7 @@ class PatchScanNode(PlanNode):
         self.sort_ascending = sort_ascending
 
     def label(self) -> str:
+        """One-line node description."""
         return f"PatchScan({self.table}.{self.index.column}, {self.mode})"
 
 
@@ -103,9 +118,11 @@ class FilterNode(PlanNode):
         self.predicate = predicate
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Filter({self.predicate!r})"
 
 
@@ -117,9 +134,11 @@ class ProjectNode(PlanNode):
         self.outputs = dict(outputs)
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Project({list(self.outputs)})"
 
 
@@ -150,9 +169,11 @@ class JoinNode(PlanNode):
         self.dynamic_range_propagation = dynamic_range_propagation
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.left, self.right]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Join[{self.algorithm}]({self.left_key}={self.right_key})"
 
 
@@ -164,9 +185,11 @@ class DistinctNode(PlanNode):
         self.columns = list(columns) if columns is not None else None
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Distinct({self.columns or 'all'})"
 
 
@@ -184,9 +207,11 @@ class AggregateNode(PlanNode):
         self.aggregates = dict(aggregates)
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Aggregate(by={self.group_keys})"
 
 
@@ -204,10 +229,42 @@ class SortNode(PlanNode):
         self.ascending = list(ascending) if ascending is not None else [True] * len(self.keys)
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Sort({self.keys})"
+
+
+class TopNNode(PlanNode):
+    """First ``n`` rows under a sort order (ORDER BY … LIMIT n).
+
+    A *physical* pushdown of Limit-over-Sort chosen by the stage-2
+    operator selection: per-chunk selection of the n best rows plus a
+    merge of the candidates, bit-identical to the full sort followed by
+    the limit.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        ascending: Optional[Sequence[bool]],
+        n: int,
+    ) -> None:
+        self.child = child
+        self.keys = list(keys)
+        self.ascending = list(ascending) if ascending is not None else [True] * len(self.keys)
+        self.n = n
+
+    def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
+        return [self.child]
+
+    def label(self) -> str:
+        """One-line node description."""
+        return f"TopN({self.keys}, n={self.n})"
 
 
 class LimitNode(PlanNode):
@@ -218,9 +275,11 @@ class LimitNode(PlanNode):
         self.n = n
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Limit({self.n})"
 
 
@@ -231,9 +290,11 @@ class UnionNode(PlanNode):
         self.inputs = list(inputs)
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return list(self.inputs)
 
     def label(self) -> str:
+        """One-line node description."""
         return f"Union(n={len(self.inputs)})"
 
 
@@ -246,9 +307,11 @@ class MergeCombineNode(PlanNode):
         self.ascending = ascending
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return list(self.inputs)
 
     def label(self) -> str:
+        """One-line node description."""
         return f"MergeCombine(key={self.key})"
 
 
@@ -260,9 +323,11 @@ class ReuseCacheNode(PlanNode):
         self.slot_id = slot_id
 
     def children(self) -> List[PlanNode]:
+        """Child nodes, left to right."""
         return [self.child]
 
     def label(self) -> str:
+        """One-line node description."""
         return f"ReuseCache({self.slot_id})"
 
 
@@ -278,4 +343,5 @@ class ReuseLoadNode(PlanNode):
         self.hint_rows = hint_rows
 
     def label(self) -> str:
+        """One-line node description."""
         return f"ReuseLoad({self.slot_id})"

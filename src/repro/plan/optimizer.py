@@ -1,27 +1,71 @@
-"""Rule-driving optimizer.
+"""Staged optimizer driver.
 
-Walks a logical plan bottom-up and applies the PatchIndex rewrites of
-§3.3 wherever their patterns match, consulting the cost model (§3.5)
-before accepting a transformation.  Zero-branch pruning (§6.3) and
-forced application (for reproducing the paper's forced-plan
-experiments) are switchable.
+Optimization runs in two stages (the PostBOUND-style split ROADMAP
+item 3 calls for):
+
+1. **Join ordering** (:mod:`repro.plan.joinorder`) — multi-join regions
+   are flattened into a join graph and re-ordered by DP (≤6 relations)
+   or greedily, keeping the parser's order unless an enumerated order's
+   modeled cost is strictly lower.
+2. **Physical operator selection** (:mod:`repro.plan.selection`) — a
+   chain of ``PhysicalOperatorSelection`` links assigns physical
+   operators per logical node: the PatchIndex rewrites of §3.3 (first
+   link), join algorithm/build side, TopN pushdown and serial/parallel
+   execution modes.
+
+:meth:`Optimizer.optimize` returns just the plan (the seed API);
+:meth:`Optimizer.optimize_staged` additionally returns the
+:class:`OptimizationReport` EXPLAIN surfaces.  With
+``use_cost_model=False`` (the paper's forced-plan experiments) both
+stages collapse to the forced PatchIndex rewrites alone, reproducing
+the pre-staged optimizer exactly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import List, Tuple
 
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS
 from repro.plan import nodes
 from repro.plan.cost import CostModel
-from repro.plan.rules import is_sorted_on, rewrite_distinct, rewrite_join, rewrite_sort
+from repro.plan.joinorder import (
+    JOIN_ORDER_STRATEGIES,
+    JoinOrderDecision,
+    reorder_joins,
+)
+from repro.plan.selection import (
+    PhysicalOperatorAssignment,
+    default_selection_chain,
+)
 from repro.storage.catalog import Catalog
 
-__all__ = ["Optimizer"]
+__all__ = ["Optimizer", "OptimizationReport", "rebuild_node"]
+
+
+@dataclasses.dataclass
+class OptimizationReport:
+    """What the staged optimizer decided, for EXPLAIN introspection."""
+
+    join_orders: List[JoinOrderDecision]
+    assignment: PhysicalOperatorAssignment
+
+    def describe(self, plan: nodes.PlanNode) -> List[str]:
+        """Readable report lines (joined under the plan rendering)."""
+        lines: List[str] = []
+        if self.join_orders:
+            lines.append("join order search:")
+            for decision in self.join_orders:
+                lines.append(f"  {decision.describe()}")
+        choices = self.assignment.describe(plan)
+        if choices:
+            lines.append("operator assignments:")
+            lines.extend(choices)
+        return lines
 
 
 class Optimizer:
-    """Applies PatchIndex rewrites over logical plans.
+    """Two-stage plan optimizer (join order, then operator selection).
 
     Parameters
     ----------
@@ -34,12 +78,15 @@ class Optimizer:
         Drop patch subtrees when the patch count is known to be zero.
     use_cost_model:
         Gate rewrites on estimated cost; when False, every matching
-        rewrite is applied (the paper's forced plans).
+        PatchIndex rewrite is applied (the paper's forced plans) and the
+        join-order/operator stages are disabled.
     parallelism / morsel_rows:
         Worker count and morsel size the cost model should assume (see
         :class:`~repro.plan.cost.CostModel`); both feed the parallel
         payoff gates, e.g. ``sort_parallel_payoff`` deciding whether a
         SortNode is costed as a fanned-out chunk-sort.
+    join_order_search:
+        Stage-1 strategy: ``"dp"`` (default), ``"greedy"`` or ``"off"``.
     """
 
     def __init__(
@@ -50,11 +97,18 @@ class Optimizer:
         use_cost_model: bool = True,
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        join_order_search: str = "dp",
     ) -> None:
+        if join_order_search not in JOIN_ORDER_STRATEGIES:
+            raise ValueError(
+                f"unknown join_order_search strategy {join_order_search!r}; "
+                f"expected one of {', '.join(JOIN_ORDER_STRATEGIES)}"
+            )
         self.catalog = catalog
         self.index_manager = index_manager
         self.zero_branch_pruning = zero_branch_pruning
         self.use_cost_model = use_cost_model
+        self.join_order_search = join_order_search
         self.cost_model = CostModel(
             catalog, parallelism=parallelism, morsel_rows=morsel_rows
         )
@@ -62,45 +116,31 @@ class Optimizer:
     # ------------------------------------------------------------------
     def optimize(self, plan: nodes.PlanNode) -> nodes.PlanNode:
         """Return the (possibly rewritten) plan."""
-        plan = self._optimize_children(plan)
-        return self._apply_rules(plan)
-
-    def _optimize_children(self, plan: nodes.PlanNode) -> nodes.PlanNode:
-        kids = plan.children()
-        if not kids:
-            return plan
-        new_kids = [self.optimize(c) for c in kids]
-        if all(a is b for a, b in zip(kids, new_kids)):
-            return plan
-        return _rebuild(plan, new_kids)
-
-    def _apply_rules(self, plan: nodes.PlanNode) -> nodes.PlanNode:
-        lookup = self.index_manager.get
-        cost_model = self.cost_model if self.use_cost_model else None
-        force = not self.use_cost_model
-        out: Optional[nodes.PlanNode]
-        out = rewrite_distinct(
-            plan, lookup, cost_model, self.zero_branch_pruning, force
-        )
-        if out is not None:
-            return out
-        out = rewrite_sort(plan, lookup, cost_model, self.zero_branch_pruning, force)
-        if out is not None:
-            return out
-        out = rewrite_join(
-            plan,
-            lookup,
-            lambda node, key: is_sorted_on(node, key, self.catalog),
-            cost_model,
-            self.zero_branch_pruning,
-            force,
-        )
-        if out is not None:
-            return out
+        plan, _ = self.optimize_staged(plan)
         return plan
 
+    def optimize_staged(
+        self, plan: nodes.PlanNode
+    ) -> Tuple[nodes.PlanNode, OptimizationReport]:
+        """Run both stages, returning the plan plus the decision report."""
+        decisions: List[JoinOrderDecision] = []
+        if self.use_cost_model and self.join_order_search != "off":
+            plan, decisions = reorder_joins(
+                plan, self.catalog, self.cost_model, self.join_order_search
+            )
+        assignment = PhysicalOperatorAssignment()
+        chain = default_selection_chain(
+            self.catalog,
+            self.index_manager,
+            self.cost_model if self.use_cost_model else None,
+            zero_branch_pruning=self.zero_branch_pruning,
+            force=not self.use_cost_model,
+        )
+        plan = chain.select_physical_operators(plan, assignment)
+        return plan, OptimizationReport(decisions, assignment)
 
-def _rebuild(plan: nodes.PlanNode, kids) -> nodes.PlanNode:
+
+def rebuild_node(plan: nodes.PlanNode, kids) -> nodes.PlanNode:
     """Copy a node with new children (structural rebuild)."""
     if isinstance(plan, nodes.FilterNode):
         return nodes.FilterNode(kids[0], plan.predicate)
@@ -118,6 +158,8 @@ def _rebuild(plan: nodes.PlanNode, kids) -> nodes.PlanNode:
         return nodes.AggregateNode(kids[0], plan.group_keys, plan.aggregates)
     if isinstance(plan, nodes.SortNode):
         return nodes.SortNode(kids[0], plan.keys, plan.ascending)
+    if isinstance(plan, nodes.TopNNode):
+        return nodes.TopNNode(kids[0], plan.keys, plan.ascending, plan.n)
     if isinstance(plan, nodes.LimitNode):
         return nodes.LimitNode(kids[0], plan.n)
     if isinstance(plan, nodes.UnionNode):

@@ -5,17 +5,116 @@ cardinalities from the catalog; PatchIndex scan estimates are *exact*
 because the number of patches is known at optimization time — the
 property the paper exploits for build-side selection and zero-branch
 pruning.
+
+Join estimates additionally consult *distinct-count statistics* when
+the catalog carries them (see :func:`analyze_table`): an equi-join's
+selectivity is then ``1 / max(d_left, d_right)`` over the join keys'
+distinct counts — the classic System-R formula — instead of the flat
+FK-join assumption.  Stats are versioned against the table they were
+collected from, so a stale ANALYZE degrades to the heuristic rather
+than misleading the join-order search.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
+
 from repro.plan import nodes
 from repro.storage.catalog import Catalog
 
-__all__ = ["estimate_rows", "DEFAULT_FILTER_SELECTIVITY"]
+__all__ = [
+    "estimate_rows",
+    "analyze_table",
+    "distinct_count",
+    "join_selectivity",
+    "output_columns",
+    "DEFAULT_FILTER_SELECTIVITY",
+    "DISTINCT_STAT_KIND",
+]
 
 #: Heuristic selectivity for arbitrary predicates.
 DEFAULT_FILTER_SELECTIVITY = 0.33
+
+#: Catalog structure kind under which ANALYZE registers column stats.
+DISTINCT_STAT_KIND = "distinct_count"
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnStats:
+    """Distinct-count statistic for one column, stamped with the table
+    version it was collected at (stale stats are ignored)."""
+
+    distinct: int
+    version: Optional[int]
+
+
+def analyze_table(
+    catalog: Catalog, table_name: str, columns: Optional[Iterable[str]] = None
+) -> List[str]:
+    """Collect distinct-count stats for a table's columns (ANALYZE).
+
+    Registers one :class:`ColumnStats` per column under the
+    ``distinct_count`` structure kind, stamped with the table's current
+    version so later DML invalidates it implicitly.  Returns the list
+    of analyzed column names.
+    """
+    table = catalog.table(table_name)
+    names = list(columns) if columns is not None else list(table.schema.names)
+    version = getattr(table, "version", None)
+    for name in names:
+        values = table.column(name)
+        count = int(len(np.unique(values))) if len(values) else 0
+        catalog.add_structure(
+            DISTINCT_STAT_KIND, table_name, name, ColumnStats(count, version)
+        )
+    return names
+
+
+def distinct_count(catalog: Catalog, table_name: str, column: str) -> Optional[int]:
+    """Distinct count of a column if fresh stats exist, else None.
+
+    Stats collected at an older table version than the current one are
+    treated as absent: DML may have changed the value distribution.
+    """
+    stat = catalog.structure(DISTINCT_STAT_KIND, table_name, column)
+    if not isinstance(stat, ColumnStats):
+        return None
+    try:
+        current = getattr(catalog.table(table_name), "version", None)
+    except KeyError:
+        return None
+    if stat.version is not None and current is not None and stat.version != current:
+        return None
+    return stat.distinct
+
+
+def output_columns(node: nodes.PlanNode, catalog: Catalog) -> Set[str]:
+    """Column names a plan node's output carries.
+
+    Used by the join-order search to resolve which base relation owns a
+    join key (the repo's SQL dialect keeps column names unique across
+    joined tables).  Nodes the walk cannot see through report the union
+    of their children's columns.
+    """
+    if isinstance(node, nodes.ScanNode):
+        if node.columns is not None:
+            return set(node.columns)
+        return set(catalog.table(node.table).schema.names)
+    if isinstance(node, nodes.PatchScanNode):
+        if node.columns is not None:
+            return set(node.columns)
+        return set(catalog.table(node.table).schema.names)
+    if isinstance(node, nodes.ProjectNode):
+        return set(node.outputs)
+    if isinstance(node, nodes.AggregateNode):
+        return set(node.group_keys) | set(node.aggregates)
+    out: Set[str] = set()
+    for child in node.children():
+        out |= output_columns(child, catalog)
+    return out
 
 
 def estimate_rows(node: nodes.PlanNode, catalog: Catalog) -> float:
@@ -39,14 +138,19 @@ def estimate_rows(node: nodes.PlanNode, catalog: Catalog) -> float:
     if isinstance(node, nodes.JoinNode):
         left = estimate_rows(node.left, catalog)
         right = estimate_rows(node.right, catalog)
+        sel = join_selectivity(node, catalog)
+        if sel is not None:
+            return max(1.0, left * right * sel)
         # FK-join assumption: output bounded by the larger input.
-        return max(left, right) * _join_selectivity(node)
+        return max(left, right)
     if isinstance(node, nodes.DistinctNode):
         return 0.5 * estimate_rows(node.child, catalog)
     if isinstance(node, nodes.AggregateNode):
         child = estimate_rows(node.child, catalog)
         return child if not node.group_keys else max(1.0, 0.1 * child)
     if isinstance(node, nodes.LimitNode):
+        return min(float(node.n), estimate_rows(node.child, catalog))
+    if isinstance(node, nodes.TopNNode):
         return min(float(node.n), estimate_rows(node.child, catalog))
     if isinstance(node, (nodes.UnionNode, nodes.MergeCombineNode)):
         return sum(estimate_rows(c, catalog) for c in node.children())
@@ -57,6 +161,37 @@ def estimate_rows(node: nodes.PlanNode, catalog: Catalog) -> float:
     raise TypeError(f"no estimator for {type(node).__name__}")
 
 
-def _join_selectivity(node: nodes.JoinNode) -> float:
-    # Equi-joins on keys: roughly one match per FK tuple.
-    return 1.0
+def join_selectivity(node: nodes.JoinNode, catalog: Catalog) -> Optional[float]:
+    """Equi-join selectivity from distinct-count stats, or None.
+
+    ``1 / max(d_left, d_right)`` over the join keys' distinct counts
+    (System R): each tuple of the side with fewer key values matches
+    ``|other| / d_other`` partners on average.  Returns None — caller
+    falls back to the FK heuristic — when neither side's key has fresh
+    stats (the former behavior was a flat constant regardless of
+    stats, which made every join order look equally good).
+    """
+    d_left = _key_distinct(node.left, node.left_key, catalog)
+    d_right = _key_distinct(node.right, node.right_key, catalog)
+    known = [d for d in (d_left, d_right) if d is not None and d > 0]
+    if not known:
+        return None
+    return 1.0 / float(max(known))
+
+
+def _key_distinct(node: nodes.PlanNode, key: str, catalog: Catalog) -> Optional[int]:
+    """Distinct count of a join key within a plan subtree, or None.
+
+    Walks to the base Scan/PatchScan owning the column and reads the
+    catalog stats for it.  The base-table count is an upper bound for
+    any filtered subtree above it, which is the standard System-R
+    treatment.
+    """
+    if isinstance(node, (nodes.ScanNode, nodes.PatchScanNode)):
+        if key in output_columns(node, catalog):
+            return distinct_count(catalog, node.table, key)
+        return None
+    for child in node.children():
+        if key in output_columns(child, catalog):
+            return _key_distinct(child, key, catalog)
+    return None

@@ -211,6 +211,11 @@ class AsyncSQLSession:
         return self._session.parallelism
 
     @property
+    def join_order_search(self) -> str:
+        """Stage-1 join-order strategy of the session core."""
+        return self._session.join_order_search
+
+    @property
     def inflight(self) -> int:
         """Statements currently admitted (dispatched or executing)."""
         return self._inflight

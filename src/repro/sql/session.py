@@ -37,6 +37,7 @@ from repro.engine.parallel import (
 from repro.plan import nodes
 from repro.plan.cost import CostModel
 from repro.plan.executor import execute_plan, explain_plan
+from repro.plan.joinorder import JOIN_ORDER_STRATEGIES
 from repro.plan.optimizer import Optimizer
 from repro.sql.parser import (
     DeleteStatement,
@@ -170,6 +171,7 @@ class SQLSession:
         self._context: Optional[ExecutionContext] = None
         self._owns_context = True
         self._exec_guard = threading.Lock()
+        self._join_order_search = "dp"
         self.optimizer: Optional[Optimizer] = None
         if index_manager is not None:
             self.optimizer = Optimizer(
@@ -353,24 +355,60 @@ class SQLSession:
         """The (optimized) logical plan for a SELECT.
 
         ``costs=True`` annotates each node with estimated cardinality
-        and cost and appends the admission cost hint (the figure the
+        and cost, appends the staged optimizer's report — the join-order
+        decision (chosen order and modeled cost vs the parser order) and
+        the per-node physical operator assignments with their cost
+        dicts — and closes with the admission cost hint (the figure the
         async front-end records per admitted query).
         """
         stmt = parse_statement(sql)
         if not isinstance(stmt, SelectStatement):
             raise ValueError("EXPLAIN supports SELECT statements only")
         plan = stmt.plan
+        report = None
         if self.optimizer is not None:
-            plan = self.optimizer.optimize(plan)
+            plan, report = self.optimizer.optimize_staged(plan)
         if costs:
-            return explain_plan(plan, self.catalog, cost_model=self._dml_cost_model)
+            return explain_plan(
+                plan, self.catalog, cost_model=self._dml_cost_model, report=report
+            )
         return plan.explain()
+
+    def set_join_order_search(self, strategy: str) -> str:
+        """Reconfigure the stage-1 join-order search (``dp|greedy|off``).
+
+        Validated even without an optimizer attached (the knob then
+        records the preference for a later optimizer), mirroring the SQL
+        statement ``SET join_order_search = dp``.
+        """
+        if not isinstance(strategy, str):
+            raise TypeError(
+                f"join_order_search must be a string, got {strategy!r}"
+            )
+        strategy = strategy.lower()
+        if strategy not in JOIN_ORDER_STRATEGIES:
+            raise ValueError(
+                f"unknown join_order_search strategy {strategy!r}; "
+                f"expected one of {', '.join(JOIN_ORDER_STRATEGIES)}"
+            )
+        self._join_order_search = strategy
+        if self.optimizer is not None:
+            self.optimizer.join_order_search = strategy
+        return strategy
+
+    @property
+    def join_order_search(self) -> str:
+        """Current stage-1 join-order search strategy."""
+        return self._join_order_search
 
     def _run_set(self, stmt: SetStatement) -> int:
         name = stmt.name.lower()
         if name == "parallelism":
             self.set_parallelism(stmt.value)
             return self.parallelism
+        if name == "join_order_search":
+            self.set_join_order_search(stmt.value)
+            return self._join_order_search
         raise ValueError(f"unknown session setting {stmt.name!r}")
 
     def _run_insert(self, stmt: InsertStatement) -> int:

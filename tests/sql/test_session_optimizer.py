@@ -1,0 +1,188 @@
+"""Staged optimizer through the SQL surface: SET knob, EXPLAIN, TopN."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import PatchIndexManager
+from repro.plan.stats import analyze_table
+from repro.sql import AsyncSQLSession, SQLSession
+from repro.storage import Catalog
+from repro.workloads import generate_tpch
+
+#: Parser order starts from the fact table; DP should flip it around.
+BACKWARDS_Q3 = (
+    "SELECT c_custkey, o_orderdate, l_extendedprice FROM lineitem "
+    "JOIN orders ON l_orderkey = o_orderkey "
+    "JOIN customer ON o_custkey = c_custkey"
+)
+
+
+@pytest.fixture
+def session():
+    catalog = Catalog()
+    generate_tpch(scale=0.002, seed=3).register(catalog)
+    for name in ("customer", "orders", "lineitem", "supplier", "nation"):
+        analyze_table(catalog, name)
+    with SQLSession(catalog, index_manager=PatchIndexManager(catalog)) as s:
+        yield s
+
+
+def assert_bit_identical(reference, result):
+    assert result.num_rows == reference.num_rows
+    assert result.column_names == reference.column_names
+    for name in reference.column_names:
+        np.testing.assert_array_equal(result.column(name), reference.column(name))
+
+
+class TestJoinOrderKnob:
+    def test_default_is_dp(self, session):
+        assert session.join_order_search == "dp"
+        assert session.optimizer.join_order_search == "dp"
+
+    @pytest.mark.parametrize("strategy", ["greedy", "off", "dp"])
+    def test_set_statement_routes_to_optimizer(self, session, strategy):
+        session.execute(f"SET join_order_search = {strategy}")
+        assert session.join_order_search == strategy
+        assert session.optimizer.join_order_search == strategy
+
+    def test_unknown_strategy_rejected(self, session):
+        with pytest.raises(ValueError, match="join_order_search"):
+            session.execute("SET join_order_search = sideways")
+        assert session.join_order_search == "dp"  # unchanged
+
+    def test_non_string_value_rejected(self, session):
+        with pytest.raises(TypeError):
+            session.set_join_order_search(3)
+
+    def test_async_session_accepts_the_knob(self):
+        catalog = Catalog()
+        generate_tpch(scale=0.002, seed=3).register(catalog)
+        for name in ("customer", "orders", "lineitem"):
+            analyze_table(catalog, name)
+
+        async def scenario():
+            async with AsyncSQLSession(
+                catalog, index_manager=PatchIndexManager(catalog)
+            ) as s:
+                await s.execute("SET join_order_search = greedy")
+                strategy = s.join_order_search
+                return strategy, await s.execute(BACKWARDS_Q3)
+
+        strategy, result = asyncio.run(asyncio.wait_for(scenario(), 60.0))
+        assert strategy == "greedy"
+        assert result.num_rows > 0
+
+
+class TestExplain:
+    def test_costs_surface_order_and_assignments(self, session):
+        text = session.explain(BACKWARDS_Q3, costs=True)
+        assert "join order search:" in text
+        assert "operator assignments:" in text
+        assert "admission cost hint:" in text
+        assert "[JoinOperatorSelection]" in text
+        assert "[ParallelVariantSelection]" in text
+
+    def test_dp_picks_non_parser_order_with_lower_cost(self, session):
+        text = session.explain(BACKWARDS_Q3, costs=True)
+        line = next(
+            ln for ln in text.splitlines() if ln.strip().startswith("join order [dp]")
+        )
+        assert "parser order kept" not in line
+        assert "<" in line  # strictly lower modeled cost than the parser order
+        # the chosen order leads with a smaller relation, not lineitem
+        assert not line.split(":", 1)[1].strip().startswith("lineitem")
+
+    def test_off_keeps_parser_shape(self, session):
+        session.execute("SET join_order_search = off")
+        text = session.explain(BACKWARDS_Q3, costs=True)
+        assert "join order search:" not in text
+        # parser shape: lineitem scanned in the innermost join
+        plain = session.explain(BACKWARDS_Q3)
+        assert plain.index("Scan(lineitem)") < plain.index("Scan(customer)")
+
+    def test_explain_without_costs_is_just_the_plan(self, session):
+        text = session.explain(BACKWARDS_Q3)
+        assert "operator assignments:" not in text
+        assert "admission cost hint:" not in text
+
+
+class TestReorderedExecution:
+    @pytest.mark.parametrize("strategy", ["dp", "greedy"])
+    def test_bit_identical_to_search_off(self, session, strategy):
+        session.execute("SET join_order_search = off")
+        reference = session.execute(BACKWARDS_Q3)
+        session.execute(f"SET join_order_search = {strategy}")
+        assert_bit_identical(reference, session.execute(BACKWARDS_Q3))
+
+    def test_five_way_join_bit_identical(self, session):
+        sql = (
+            "SELECT n_name, l_extendedprice FROM lineitem "
+            "JOIN orders ON l_orderkey = o_orderkey "
+            "JOIN customer ON o_custkey = c_custkey "
+            "JOIN supplier ON l_suppkey = s_suppkey "
+            "JOIN nation ON s_nationkey = n_nationkey"
+        )
+        session.execute("SET join_order_search = off")
+        reference = session.execute(sql)
+        session.execute("SET join_order_search = dp")
+        assert_bit_identical(reference, session.execute(sql))
+
+    def test_filtered_query_bit_identical(self, session):
+        sql = (
+            "SELECT c_custkey, l_extendedprice FROM lineitem "
+            "JOIN orders ON l_orderkey = o_orderkey "
+            "JOIN customer ON o_custkey = c_custkey "
+            "WHERE o_orderdate < 5000"
+        )
+        session.execute("SET join_order_search = off")
+        reference = session.execute(sql)
+        session.execute("SET join_order_search = dp")
+        assert_bit_identical(reference, session.execute(sql))
+
+
+class TestTopNThroughSQL:
+    def test_order_by_limit_becomes_topn(self, session):
+        text = session.explain(
+            "SELECT l_orderkey FROM lineitem ORDER BY l_extendedprice LIMIT 5",
+            costs=True,
+        )
+        assert "TopN(" in text
+        assert "[TopNSelection]" in text
+
+    def test_topn_rows_match_full_sort(self, session):
+        full = session.execute(
+            "SELECT l_orderkey, l_extendedprice FROM lineitem "
+            "ORDER BY l_extendedprice"
+        )
+        limited = session.execute(
+            "SELECT l_orderkey, l_extendedprice FROM lineitem "
+            "ORDER BY l_extendedprice LIMIT 25"
+        )
+        assert limited.num_rows == 25
+        for name in full.column_names:
+            np.testing.assert_array_equal(
+                limited.column(name), full.column(name)[:25]
+            )
+
+    def test_descending_topn_matches(self, session):
+        full = session.execute(
+            "SELECT o_orderkey, o_orderdate FROM orders ORDER BY o_orderdate DESC"
+        )
+        limited = session.execute(
+            "SELECT o_orderkey, o_orderdate FROM orders "
+            "ORDER BY o_orderdate DESC LIMIT 10"
+        )
+        for name in full.column_names:
+            np.testing.assert_array_equal(
+                limited.column(name), full.column(name)[:10]
+            )
+
+    def test_limit_larger_than_payoff_keeps_sort(self, session):
+        text = session.explain(
+            "SELECT c_custkey FROM customer ORDER BY c_custkey LIMIT 300",
+            costs=True,
+        )
+        assert "TopN(" not in text
+        assert "Sort(" in text
