@@ -15,6 +15,16 @@ bitmap on-the-fly with the dataflow.
 """
 
 from repro.engine.batch import Relation
+from repro.engine.interrupt import (
+    CancellationToken,
+    QueryCancelledError,
+    QueryInterruptedError,
+    QueryTimeoutError,
+    cancellation_scope,
+    checkpoint,
+    current_token,
+    validate_timeout_ms,
+)
 from repro.engine.expressions import (
     BinaryExpr,
     ColumnRef,
@@ -55,6 +65,14 @@ __all__ = [
     "Relation",
     "ExecutionContext",
     "validate_parallelism",
+    "CancellationToken",
+    "QueryInterruptedError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
+    "cancellation_scope",
+    "checkpoint",
+    "current_token",
+    "validate_timeout_ms",
     "merge_sorted_runs",
     "serial_sort_permutation",
     "sort_parallel_payoff",

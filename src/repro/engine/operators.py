@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.engine.batch import ROWID, Relation
 from repro.engine.expressions import Expression, expression_columns
-from repro.engine.parallel import ExecutionContext, Morsel, row_chunks, table_morsels
+from repro.engine.interrupt import checkpoint, current_token
+from repro.engine.parallel import (
+    DEFAULT_MORSEL_ROWS,
+    ExecutionContext,
+    Morsel,
+    row_chunks,
+    table_morsels,
+)
 from repro.engine.parallel_sort import (
     merge_sorted_runs,
     serial_sort_permutation,
@@ -220,6 +227,7 @@ class Scan(Operator):
         ]
 
     def execute(self) -> Relation:
+        checkpoint()
         ctx = self.context
         # A bare scan only profits from morsels when there is per-tuple
         # work to do; otherwise the serial path is zero-copy.
@@ -229,6 +237,10 @@ class Scan(Operator):
                 return Relation.concat(
                     ctx.map_grouped(_call, thunks, _morsel_affinity_keys(thunks, ctx))
                 )
+        if current_token() is not None:
+            interruptible = self._scan_morsels_interruptible(ctx)
+            if interruptible is not None:
+                return interruptible
         partitions = getattr(self.table, "partitions", None)
         if partitions is None:
             return self._scan_one(self.table, 0)
@@ -237,6 +249,31 @@ class Scan(Operator):
             self._scan_one(part, int(offsets[i]))
             for i, part in enumerate(partitions)
         ]
+        return Relation.concat(pieces)
+
+    def _scan_morsels_interruptible(self, ctx) -> Optional[Relation]:
+        """Serial scan as a checkpointed morsel loop (token armed).
+
+        Concatenating contiguous range scans in row order is
+        bit-identical to the whole-table scan — the same property the
+        parallel path relies on — so arming a token changes nothing but
+        the interrupt granularity.  Returns None for single-morsel
+        tables, where the loop adds no interior checkpoint.
+        """
+        morsel_rows = ctx.morsel_rows if ctx is not None else DEFAULT_MORSEL_ROWS
+        morsels = table_morsels(self.table, morsel_rows)
+        if len(morsels) <= 1:
+            return None
+        masks: Dict[int, Optional[np.ndarray]] = {}
+        pieces = []
+        for m in morsels:
+            checkpoint()
+            key = id(m.table)
+            if key not in masks:
+                masks[key] = self._block_mask(m.table)
+            pieces.append(
+                self._scan_range(m.table, m.start, m.stop, m.rowid_offset, masks[key])
+            )
         return Relation.concat(pieces)
 
     def label(self) -> str:
@@ -273,6 +310,7 @@ class PatchSelect(Operator):
         return rel.filter(keep)
 
     def execute(self) -> Relation:
+        checkpoint()
         ctx = self.context
         if ctx is not None and isinstance(self.child, Scan):
             # Fused scan→patch-select pipeline: the bitmap lookup and the
@@ -311,6 +349,7 @@ class Filter(Operator):
         return rel.filter(np.asarray(self.predicate.evaluate(rel), dtype=bool))
 
     def execute(self) -> Relation:
+        checkpoint()
         ctx = self.context
         if ctx is not None and isinstance(self.child, Scan):
             # Fused scan→filter pipeline over the scan's morsels.
@@ -508,6 +547,7 @@ class HashJoin(Operator):
         return None, None, None, None  # type: ignore[return-value]
 
     def execute(self) -> Relation:
+        checkpoint()
         if self.build_side == "auto":
             # the paper's heuristic: build on the lower-cardinality side
             left_rel = self.left.execute()
@@ -581,6 +621,7 @@ class MergeJoin(Operator):
 
     def execute(self) -> Relation:
         left_rel = self._ordered_build(self.left.execute())
+        checkpoint()
         right_rel = self.right.execute()
         build_idx, probe_idx = _expand_matches(
             left_rel.column(self.left_key),
@@ -627,6 +668,7 @@ class Sort(Operator):
 
     def execute(self) -> Relation:
         rel = self.child.execute()
+        checkpoint()
         order = sort_permutation(
             [rel.column(k) for k in self.keys], self.ascending, context=self.context
         )
@@ -678,6 +720,7 @@ class TopN(Operator):
 
     def execute(self) -> Relation:
         rel = self.child.execute()
+        checkpoint()
         if self.n == 0 or rel.num_rows == 0:
             return rel.take(np.empty(0, dtype=np.int64))
         ctx = self.context
@@ -711,6 +754,7 @@ class Distinct(Operator):
 
     def execute(self) -> Relation:
         rel = self.child.execute()
+        checkpoint()
         cols = self.columns if self.columns is not None else rel.column_names
         if rel.num_rows == 0:
             return rel.select(cols)
@@ -757,6 +801,7 @@ class GroupAggregate(Operator):
 
     def execute(self) -> Relation:
         rel = self.child.execute()
+        checkpoint()
         if not self.group_keys:
             return self._global_aggregate(rel)
         ctx = self.context

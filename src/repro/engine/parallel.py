@@ -36,7 +36,11 @@ import operator
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.engine.interrupt import CancellationToken, current_token
+from repro.testing import faults
 
 __all__ = [
     "DEFAULT_MORSEL_ROWS",
@@ -46,6 +50,7 @@ __all__ = [
     "row_chunks",
     "table_morsels",
     "validate_parallelism",
+    "validate_stall_timeout",
 ]
 
 #: Rows per morsel; large enough that numpy kernel time dominates the
@@ -79,6 +84,37 @@ def validate_parallelism(value: object, name: str = "parallelism") -> int:
     if parallelism < 1:
         raise ValueError(f"{name} must be a positive integer, got {parallelism}")
     return int(parallelism)
+
+
+def validate_stall_timeout(value: object, name: str = "stall_timeout_s") -> float:
+    """Validate a stall-timeout knob: a positive number of seconds.
+
+    ``None`` (= disabled) is handled by callers before validation, never
+    here; bools and non-numbers are rejected like
+    :func:`validate_parallelism` rejects them.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def _run_morsel_task(
+    fn: Callable[[T], R], item: T, token: Optional[CancellationToken]
+) -> R:
+    """One pool task: checkpoint, fault point, then the actual work.
+
+    A module-level function (not a closure inside :meth:`map`) so the
+    token travels *explicitly*: pool workers do not inherit the
+    submitter's thread-local cancellation scope, and capturing the token
+    at fan-out time is what makes checkpoints fire on worker threads.
+    """
+    if token is not None:
+        token.check()
+    if faults.ACTIVE:
+        faults.fire("worker.morsel")
+    return fn(item)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -145,6 +181,14 @@ class ExecutionContext:
     external_workers:
         Worker count of the *external lane* (see
         :meth:`submit_external`); defaults to ``max(2, parallelism)``.
+    stall_timeout_s:
+        If set, :meth:`map` treats a pool task that produces no result
+        for this many seconds as *wedged*: the pool is quarantined
+        (shut down without waiting and replaced lazily) and the
+        unfinished morsels are recomputed inline — safe because morsel
+        tasks are pure.  ``None`` (the default) disables stall
+        detection; a healthy deployment relies on cooperative
+        cancellation instead.
 
     The pool is created lazily on first use and shared by every operator
     bound to the context (and by concurrent queries of one session); it
@@ -163,6 +207,7 @@ class ExecutionContext:
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS,
         external_workers: Optional[int] = None,
+        stall_timeout_s: Optional[float] = None,
     ) -> None:
         if parallelism is None:
             parallelism = os.cpu_count() or 1
@@ -171,12 +216,16 @@ class ExecutionContext:
             raise ValueError("morsel_rows must be >= 1")
         if external_workers is None:
             external_workers = max(2, parallelism)
+        if stall_timeout_s is not None:
+            stall_timeout_s = validate_stall_timeout(stall_timeout_s)
         self._parallelism = parallelism
         self.morsel_rows = int(morsel_rows)
         self.min_parallel_rows = int(min_parallel_rows)
         self._external_workers = validate_parallelism(
             external_workers, name="external_workers"
         )
+        self._stall_timeout_s = stall_timeout_s
+        self._heal_count = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._external: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -191,6 +240,16 @@ class ExecutionContext:
     def active(self) -> bool:
         """Whether parallel paths should engage at all."""
         return self._parallelism > 1
+
+    @property
+    def stall_timeout_s(self) -> Optional[float]:
+        """Seconds before a silent pool task counts as wedged (None = off)."""
+        return self._stall_timeout_s
+
+    @property
+    def heal_count(self) -> int:
+        """How many times a wedged pool was quarantined and replaced."""
+        return self._heal_count
 
     def should_parallelize(self, num_rows: int, num_tasks: int = 2) -> bool:
         """Gate for operators: enough rows and at least two tasks."""
@@ -214,28 +273,110 @@ class ExecutionContext:
 
         Runs inline when the context is serial, closed, or there is at
         most one item; otherwise dispatches to the shared pool.  The
-        first worker exception propagates to the caller.
+        first worker exception propagates to the caller with its
+        original traceback; the pool's threads survive task exceptions,
+        so a poisoned morsel never wedges the context.
+
+        The calling thread's :class:`CancellationToken` (if a
+        cancellation scope is installed) is captured at fan-out time and
+        checked before every morsel — on pool workers via the explicit
+        capture, inline via the same path — so both execution modes
+        interrupt with morsel granularity.
+
+        With ``stall_timeout_s`` armed, a task that stays silent past
+        the deadline triggers self-healing: the wedged pool is
+        quarantined, its unfinished morsels are recomputed inline
+        (morsel tasks are pure, so recomputation is safe), and the next
+        parallel call lazily builds a replacement pool.
 
         ``fn`` must not call :meth:`map` recursively: only leaf-level
         morsel work goes to the pool, operator orchestration stays on the
         calling thread, which keeps the fixed-size pool deadlock-free.
         """
+        token = current_token()
         if not self.active or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items, token)
         pool = self._ensure_pool()
         if pool is None:
             # closed (e.g. by SET parallelism racing an in-flight query):
             # degrade to inline execution rather than resurrect a pool
             # nothing would ever shut down again.
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items, token)
         try:
-            return list(pool.map(fn, items))
+            futures = [pool.submit(_run_morsel_task, fn, item, token) for item in items]
         except RuntimeError:
             # the pool shut down between _ensure_pool and the submit;
             # morsel tasks are pure, so recomputing inline is safe
             if self._closed:
-                return [fn(item) for item in items]
+                return self._map_inline(fn, items, token)
             raise
+        return self._collect(pool, futures, fn, items, token)
+
+    @staticmethod
+    def _map_inline(
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        token: Optional[CancellationToken],
+    ) -> List[R]:
+        """Serial fallback with the same per-morsel checkpoints as the pool."""
+        out: List[R] = []
+        for item in items:
+            if token is not None:
+                token.check()
+            if faults.ACTIVE:
+                faults.fire("worker.morsel")
+            out.append(fn(item))
+        return out
+
+    def _collect(
+        self,
+        pool: ThreadPoolExecutor,
+        futures: List["Future[R]"],
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        token: Optional[CancellationToken],
+    ) -> List[R]:
+        """Gather morsel results in item order, healing a wedged pool."""
+        results: List[R] = [None] * len(futures)  # type: ignore[list-item]
+        try:
+            for i, future in enumerate(futures):
+                results[i] = future.result(timeout=self._stall_timeout_s)
+        except FuturesTimeoutError:
+            # A task sat past stall_timeout_s with no result: treat the
+            # pool as wedged.  Quarantine it (replacement is built lazily
+            # by the next parallel call) and finish this map serially.
+            for future in futures:
+                future.cancel()
+            self._quarantine(pool)
+            for i, future in enumerate(futures):
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    results[i] = future.result()
+                else:
+                    if token is not None:
+                        token.check()
+                    results[i] = fn(items[i])
+        except BaseException:
+            # worker exception or an interrupt on this thread: drop the
+            # not-yet-started morsels and propagate
+            for future in futures:
+                future.cancel()
+            raise
+        return results
+
+    def _quarantine(self, pool: ThreadPoolExecutor) -> None:
+        """Retire a wedged pool; the next parallel call builds a new one."""
+        with self._pool_lock:
+            if self._closed or self._pool is not pool:
+                # someone else already replaced (or closed) it
+                pool.shutdown(wait=False, cancel_futures=True)
+                return
+            self._pool = None
+            self._heal_count += 1
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def map_grouped(
         self,
@@ -254,16 +395,24 @@ class ExecutionContext:
         """
         if len(keys) != len(items):
             raise ValueError("need one affinity key per item")
+        token = current_token()
         if not self.active or len(items) <= 1:
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items, token)
         groups: dict = {}
         for pos, (item, key) in enumerate(zip(items, keys)):
             groups.setdefault(key, []).append((pos, item))
         if len(groups) <= 1:
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items, token)
 
         def run_group(entries: List[Tuple[int, T]]) -> List[Tuple[int, R]]:
-            return [(pos, fn(item)) for pos, item in entries]
+            out = []
+            for pos, item in entries:
+                # morsel-granular checkpoints *within* an affinity group
+                # too, not just between groups
+                if token is not None:
+                    token.check()
+                out.append((pos, fn(item)))
+            return out
 
         out: List[R] = [None] * len(items)  # type: ignore[list-item]
         for batch in self.map(run_group, list(groups.values())):

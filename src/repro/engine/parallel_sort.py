@@ -54,6 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.interrupt import checkpoint
 from repro.engine.parallel import (
     DEFAULT_MORSEL_ROWS,
     ExecutionContext,
@@ -260,6 +261,7 @@ def _kway_merge(
     if not runs:
         return np.arange(0, dtype=np.int64)
     while len(runs) > 1:
+        checkpoint()
         pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
         if context is not None:
             merged = context.map(_merge_pair, pairs)
@@ -440,7 +442,15 @@ def sort_permutation(
     ``Relation.sort_by``) at any worker count: multi-key, descending and
     NaN/None orderings included.  ``affinity`` optionally pins chunk
     groups to workers (see :func:`_chunk_runs`).
+
+    Cooperative interruption: checkpoints fire before the sort starts
+    and between the chunk-sort / code-densify / merge phases (the
+    parallel fan-outs inside each phase carry their own per-morsel
+    checks via ``context.map``), so an armed
+    :class:`~repro.engine.interrupt.CancellationToken` unwinds a large
+    sort between phases instead of after it.
     """
+    checkpoint()
     keys = [np.asarray(k) for k in keys]
     if ascending is None:
         ascending = [True] * len(keys)
@@ -476,6 +486,7 @@ def sort_permutation(
     code: Optional[np.ndarray] = None
     code_card = 1
     for key, eff_asc in zip(okeys, effective):
+        checkpoint()
         codes, card = _dense_codes(key, context, affinity)
         if not eff_asc:
             codes = (card - 1) - codes

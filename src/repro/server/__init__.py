@@ -12,10 +12,17 @@ The server layer (see ``docs/architecture.md`` for where it sits and
   :class:`AsyncSQLClient` (pipelined asyncio) drivers.
 """
 
-from repro.server.client import AsyncSQLClient, ClientResult, ServerError, SQLClient
+from repro.server.client import (
+    AsyncSQLClient,
+    ClientResult,
+    RetryPolicy,
+    ServerError,
+    SQLClient,
+)
 from repro.server.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    RETRYABLE_ERROR_CODES,
     ConnectionClosedError,
     FrameTooLargeError,
     ProtocolError,
@@ -30,6 +37,8 @@ __all__ = [
     "ClientResult",
     "ServerError",
     "ServerClosedError",
+    "RetryPolicy",
+    "RETRYABLE_ERROR_CODES",
     "ProtocolError",
     "FrameTooLargeError",
     "ConnectionClosedError",

@@ -21,8 +21,10 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
+import random
 import socket
-from typing import Any, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.server import protocol
 from repro.server.protocol import (
@@ -39,7 +41,69 @@ from repro.server.protocol import (
     write_frame,
 )
 
-__all__ = ["ClientResult", "ServerError", "SQLClient", "AsyncSQLClient"]
+__all__ = [
+    "ClientResult",
+    "RetryPolicy",
+    "ServerError",
+    "SQLClient",
+    "AsyncSQLClient",
+]
+
+#: statements safe to resend even when the original may have reached the
+#: server — re-running them cannot double-apply a write
+_IDEMPOTENT_PREFIXES = ("select", "set", "explain")
+
+
+def _statement_is_idempotent(sql: str) -> bool:
+    head = sql.lstrip().split(None, 1)
+    return bool(head) and head[0].lower() in _IDEMPOTENT_PREFIXES
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for retryable statement failures.
+
+    Attempt ``n`` (0-based) sleeps ``base_backoff_ms * multiplier**n``
+    milliseconds, capped at ``max_backoff_ms``; a server ``backoff_ms``
+    hint (from an ``overloaded`` frame) raises the floor for that
+    attempt.  ``jitter`` spreads sleeps by ``±jitter`` relative to the
+    computed delay so a thundering herd of shed clients decorrelates.
+    ``seed`` makes the jitter deterministic for tests.
+    """
+
+    max_attempts: int = 4
+    base_backoff_ms: float = 25.0
+    max_backoff_ms: float = 2_000.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or isinstance(self.max_attempts, bool):
+            raise TypeError("max_attempts must be an int")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_ms <= 0 or self.max_backoff_ms <= 0:
+            raise ValueError("backoff bounds must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0.0, 1.0)")
+
+    def delay_ms(
+        self,
+        attempt: int,
+        hint_ms: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Backoff before retry ``attempt`` (0-based), in milliseconds."""
+        delay = self.base_backoff_ms * self.multiplier**attempt
+        if hint_ms is not None:
+            delay = max(delay, float(hint_ms))
+        delay = min(delay, self.max_backoff_ms)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,14 +134,21 @@ class ServerError(RuntimeError):
 
     ``code`` is one of the spec's error codes (``auth``, ``protocol``,
     ``too-large``, ``capacity``, ``sql``, ``unknown-prepared``,
-    ``cancelled``, ``server-closed``); ``fatal`` mirrors whether the
-    server closes the connection after it.
+    ``query-cancelled``, ``query-timeout``, ``overloaded``,
+    ``server-closed``); ``fatal`` mirrors whether the server closes the
+    connection after it, ``retryable`` whether the statement may simply
+    be resent (the server guarantees it left no trace), and
+    ``backoff_ms`` the server's optional wait-before-retry hint.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, backoff_ms: Optional[int] = None
+    ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.fatal = code in protocol.FATAL_ERROR_CODES
+        self.retryable = code in protocol.RETRYABLE_ERROR_CODES
+        self.backoff_ms = backoff_ms
 
 
 def _result_from_frame(frame: Dict) -> ClientResult:
@@ -119,27 +190,52 @@ class SQLClient:
         token: Optional[str] = None,
         timeout: Optional[float] = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
+        self._host = host
+        self._port = port
+        self._token = token
+        self._timeout = timeout
         self._max_frame_bytes = max_frame_bytes
         self._ids = itertools.count(1)
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._retry = retry
+        self._retry_rng = random.Random(retry.seed) if retry is not None else None
+        self._sock: Optional[socket.socket] = None
         self._closed = False
+        self._connect()
+
+    def _connect(self) -> None:
+        """Open the socket and complete the ``hello`` handshake."""
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
         try:
-            self._send(_hello(token))
+            self._send(_hello(self._token))
             frame = self._recv()
             if frame.get("type") != "hello_ok":
                 self._raise_error(frame)
             self.server_info = frame
         except BaseException:
-            self._sock.close()
-            self._closed = True
+            self._drop_connection()
             raise
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     def _send(self, message: Dict) -> None:
+        if self._sock is None:
+            raise ConnectionClosedError("client is not connected")
         self._sock.sendall(encode_frame(message, self._max_frame_bytes))
 
     def _recv_exact(self, n: int) -> bytes:
+        if self._sock is None:
+            raise ConnectionClosedError("client is not connected")
         chunks = []
         while n:
             chunk = self._sock.recv(n)
@@ -159,19 +255,18 @@ class SQLClient:
 
     def _raise_error(self, frame: Dict) -> None:
         if frame.get("type") == "error":
-            raise ServerError(frame["code"], frame["error"])
+            raise ServerError(
+                frame["code"], frame["error"], backoff_ms=frame.get("backoff_ms")
+            )
         if frame.get("type") == "goodbye":
             raise ConnectionClosedError("server said goodbye")
         raise ProtocolError(f"unexpected frame {frame.get('type')!r}")
 
-    def _roundtrip(self, message: Dict) -> ClientResult:
-        """Send one statement frame and block for its reply by id."""
-        if self._closed:
-            raise ConnectionClosedError("client is closed")
-        self._send(message)
+    def _recv_reply(self, sid: int) -> ClientResult:
+        """Block for the reply of statement ``sid``."""
         while True:
             frame = self._recv()
-            if frame.get("id") == message["id"]:
+            if frame.get("id") == sid:
                 if frame["type"] == "result":
                     return _result_from_frame(frame)
                 self._raise_error(frame)
@@ -180,10 +275,73 @@ class SQLClient:
                 self._raise_error(frame)
             # stale reply to an older (cancelled/errored) id: skip
 
+    def _roundtrip(self, message: Dict) -> ClientResult:
+        """Send one statement frame and block for its reply by id."""
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        self._send(message)
+        return self._recv_reply(message["id"])
+
+    def _roundtrip_with_retry(
+        self, make_message: Callable[[], Dict], idempotent: bool
+    ) -> ClientResult:
+        """Retry loop around :meth:`_roundtrip` per the client's policy.
+
+        Retryable error frames (``query-timeout``, ``overloaded``,
+        ``capacity``) are safe to resend for *any* statement — the
+        server guarantees a shed or timed-out statement left no trace
+        (timed-out writes unwind before the atomic mutation).  A broken
+        connection is retried (with a transparent reconnect) only for
+        idempotent statements, or when the statement frame provably
+        never went out — a write that may have reached the server could
+        otherwise be applied twice.
+        """
+        policy = self._retry
+        assert policy is not None
+        attempt = 0
+        while True:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            submitted = False
+            hint: Optional[int] = None
+            try:
+                if self._sock is None:
+                    self._connect()
+                message = make_message()
+                self._send(message)
+                submitted = True
+                return self._recv_reply(message["id"])
+            except ServerError as exc:
+                if not exc.retryable or attempt + 1 >= policy.max_attempts:
+                    raise
+                hint = exc.backoff_ms
+                if exc.fatal:
+                    self._drop_connection()
+            except (ConnectionError, OSError, socket.timeout):
+                self._drop_connection()
+                if (submitted and not idempotent) or attempt + 1 >= policy.max_attempts:
+                    raise
+            time.sleep(policy.delay_ms(attempt, hint, self._retry_rng) / 1000.0)
+            attempt += 1
+
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> ClientResult:
-        """Run one statement; blocks until its typed reply arrives."""
-        return self._roundtrip({"type": "query", "id": next(self._ids), "sql": sql})
+    def execute(self, sql: str, timeout_ms: Optional[int] = None) -> ClientResult:
+        """Run one statement; blocks until its typed reply arrives.
+
+        ``timeout_ms`` rides the wire as the per-statement deadline
+        override (spec §3.2); when a :class:`RetryPolicy` was given,
+        retryable failures are resent per :meth:`_roundtrip_with_retry`.
+        """
+
+        def make() -> Dict:
+            message: Dict = {"type": "query", "id": next(self._ids), "sql": sql}
+            if timeout_ms is not None:
+                message["timeout_ms"] = timeout_ms
+            return message
+
+        if self._retry is None:
+            return self._roundtrip(make())
+        return self._roundtrip_with_retry(make, _statement_is_idempotent(sql))
 
     def prepare(self, name: str, sql: str) -> ClientResult:
         """Parse + classify ``sql`` server-side under ``name``."""
@@ -211,7 +369,7 @@ class SQLClient:
         except (ConnectionError, OSError, ProtocolError, socket.timeout):
             pass
         finally:
-            self._sock.close()
+            self._drop_connection()
 
     def __enter__(self) -> "SQLClient":
         return self
@@ -239,26 +397,43 @@ class AsyncSQLClient:
         writer: asyncio.StreamWriter,
         server_info: Dict,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self._reader = reader
-        self._writer = writer
-        self.server_info = server_info
+        self._host = host
+        self._port = port
+        self._token = token
         self._max_frame_bytes = max_frame_bytes
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._closed = False
+        self._retry = retry
+        self._retry_rng = random.Random(retry.seed) if retry is not None else None
+        self._conn_lock = asyncio.Lock()
+        self._bind(reader, writer, server_info)
+
+    def _bind(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        server_info: Dict,
+    ) -> None:
+        """Adopt a fresh (reader, writer) pair and restart the read loop."""
+        self._reader = reader
+        self._writer = writer
+        self.server_info = server_info
+        self._connected = True
         self._goodbye = asyncio.get_running_loop().create_future()
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
-    @classmethod
-    async def connect(
-        cls,
-        host: str,
-        port: int,
-        token: Optional[str] = None,
-        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-    ) -> "AsyncSQLClient":
-        """Open a connection and complete the ``hello`` handshake."""
+    @staticmethod
+    async def _handshake(
+        host: str, port: int, token: Optional[str], max_frame_bytes: int
+    ):
+        """Open a connection and complete the ``hello`` exchange."""
         reader, writer = await asyncio.open_connection(host, port)
         try:
             await write_frame(writer, _hello(token), max_frame_bytes)
@@ -267,13 +442,65 @@ class AsyncSQLClient:
                 raise ConnectionClosedError("server closed during handshake")
             validate_message(frame, protocol.SERVER_MESSAGES)
             if frame["type"] == "error":
-                raise ServerError(frame["code"], frame["error"])
+                raise ServerError(
+                    frame["code"], frame["error"], backoff_ms=frame.get("backoff_ms")
+                )
             if frame["type"] != "hello_ok":
                 raise ProtocolError(f"expected hello_ok, got {frame['type']!r}")
         except BaseException:
             writer.close()
             raise
-        return cls(reader, writer, frame, max_frame_bytes)
+        return reader, writer, frame
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "AsyncSQLClient":
+        """Open a connection and complete the ``hello`` handshake."""
+        reader, writer, frame = await cls._handshake(host, port, token, max_frame_bytes)
+        return cls(
+            reader,
+            writer,
+            frame,
+            max_frame_bytes,
+            host=host,
+            port=port,
+            token=token,
+            retry=retry,
+        )
+
+    async def _ensure_connected(self) -> None:
+        """Transparently re-open a dropped connection (lock-guarded).
+
+        Only possible when the client was built via :meth:`connect` —
+        a directly-constructed client has no address to redial.
+        """
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        if self._connected:
+            return
+        async with self._conn_lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            if self._connected:
+                return
+            if self._host is None or self._port is None:
+                raise ConnectionClosedError("connection lost and no address to redial")
+            # old reader task already unwound (it cleared _connected);
+            # just drop the dead writer before redialing
+            try:
+                self._writer.close()
+            except (ConnectionError, OSError):
+                pass
+            reader, writer, frame = await self._handshake(
+                self._host, self._port, self._token, self._max_frame_bytes
+            )
+            self._bind(reader, writer, frame)
 
     # ------------------------------------------------------------------
     async def _read_loop(self) -> None:
@@ -298,13 +525,22 @@ class AsyncSQLClient:
                     if mtype == "result":
                         future.set_result(_result_from_frame(frame))
                     else:
-                        future.set_exception(ServerError(frame["code"], frame["error"]))
+                        future.set_exception(
+                            ServerError(
+                                frame["code"],
+                                frame["error"],
+                                backoff_ms=frame.get("backoff_ms"),
+                            )
+                        )
                 elif mtype == "error" and sid is None:
-                    error = ServerError(frame["code"], frame["error"])
+                    error = ServerError(
+                        frame["code"], frame["error"], backoff_ms=frame.get("backoff_ms")
+                    )
                     break
         except (ConnectionError, OSError, ProtocolError, asyncio.CancelledError) as exc:
             error = exc
         finally:
+            self._connected = False
             if error is None:
                 error = ConnectionClosedError("connection closed")
             for future in self._pending.values():
@@ -335,24 +571,65 @@ class AsyncSQLClient:
             self._pending.pop(sid, None)
 
     # ------------------------------------------------------------------
-    async def submit(self, sql: str) -> int:
+    async def submit(self, sql: str, timeout_ms: Optional[int] = None) -> int:
         """Fire one ``query`` frame, returning its statement id.
 
         The reply is claimed later with :meth:`wait` — the split lets a
         caller overlap statements or :meth:`cancel` one in flight.
+        ``timeout_ms`` rides the wire as the per-statement deadline
+        override (spec §3.2).
         """
         sid = next(self._ids)
+        message: Dict = {"type": "query", "id": sid, "sql": sql}
+        if timeout_ms is not None:
+            message["timeout_ms"] = timeout_ms
         self._register(sid)
-        await self._send({"type": "query", "id": sid, "sql": sql})
+        try:
+            await self._send(message)
+        except BaseException:
+            self._pending.pop(sid, None)
+            raise
         return sid
 
     async def wait(self, sid: int) -> ClientResult:
         """Await the reply of a :meth:`submit`-ted statement."""
         return await self._await_reply(sid)
 
-    async def execute(self, sql: str) -> ClientResult:
-        """Run one statement (``submit`` + ``wait``)."""
-        return await self.wait(await self.submit(sql))
+    async def execute(
+        self, sql: str, timeout_ms: Optional[int] = None
+    ) -> ClientResult:
+        """Run one statement (``submit`` + ``wait``).
+
+        With a :class:`RetryPolicy`, retryable error frames
+        (``query-timeout``, ``overloaded``, ``capacity``) are resent
+        after a jittered backoff for any statement — the server
+        guarantees they left no trace — and a broken connection is
+        transparently redialed, resending only idempotent statements or
+        ones whose frame provably never went out.
+        """
+        if self._retry is None:
+            return await self.wait(await self.submit(sql, timeout_ms))
+        policy = self._retry
+        attempt = 0
+        while True:
+            submitted = False
+            hint: Optional[int] = None
+            try:
+                await self._ensure_connected()
+                sid = await self.submit(sql, timeout_ms)
+                submitted = True
+                return await self.wait(sid)
+            except ServerError as exc:
+                if not exc.retryable or attempt + 1 >= policy.max_attempts:
+                    raise
+                hint = exc.backoff_ms
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                if (submitted and not _statement_is_idempotent(sql)) or (
+                    attempt + 1 >= policy.max_attempts
+                ):
+                    raise
+            await asyncio.sleep(policy.delay_ms(attempt, hint, self._retry_rng) / 1000.0)
+            attempt += 1
 
     async def prepare(self, name: str, sql: str) -> ClientResult:
         """Parse + classify ``sql`` server-side under ``name``."""
@@ -373,8 +650,11 @@ class AsyncSQLClient:
 
         Best-effort (spec §3.5): a queued statement is aborted and its
         :meth:`wait` raises :class:`ServerError` with code
-        ``cancelled``; a statement already executing finishes atomically
-        server-side and may reply with its normal result instead.
+        ``query-cancelled``; a statement already executing has its
+        cancellation token fired and unwinds at the next morsel
+        checkpoint (writes atomically un-applied) — it may still reply
+        with its normal result if it was already past the final
+        checkpoint.
         """
         await self._send({"type": "cancel", "target": sid})
 

@@ -39,9 +39,13 @@ __all__ = [
     "ERR_SQL",
     "ERR_UNKNOWN_PREPARED",
     "ERR_CANCELLED",
+    "ERR_QUERY_TIMEOUT",
+    "ERR_OVERLOADED",
     "ERR_SERVER_CLOSED",
     "ERROR_CODES",
     "FATAL_ERROR_CODES",
+    "RETRYABLE_ERROR_CODES",
+    "OPTIONAL_CLIENT_FIELDS",
     "ProtocolError",
     "FrameTooLargeError",
     "ConnectionClosedError",
@@ -55,7 +59,7 @@ __all__ = [
 
 #: Wire protocol version; ``hello.version`` must match exactly (§2 of
 #: the spec — v1 has no negotiation, a mismatch is a fatal error).
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Default cap on one frame's JSON body.  Larger frames are rejected
 #: with the fatal ``too-large`` error code before the body is read.
@@ -71,7 +75,9 @@ ERR_TOO_LARGE = "too-large"
 ERR_CAPACITY = "capacity"
 ERR_SQL = "sql"
 ERR_UNKNOWN_PREPARED = "unknown-prepared"
-ERR_CANCELLED = "cancelled"
+ERR_CANCELLED = "query-cancelled"
+ERR_QUERY_TIMEOUT = "query-timeout"
+ERR_OVERLOADED = "overloaded"
 ERR_SERVER_CLOSED = "server-closed"
 
 #: Every error code the server may emit.
@@ -84,6 +90,8 @@ ERROR_CODES = frozenset(
         ERR_SQL,
         ERR_UNKNOWN_PREPARED,
         ERR_CANCELLED,
+        ERR_QUERY_TIMEOUT,
+        ERR_OVERLOADED,
         ERR_SERVER_CLOSED,
     }
 )
@@ -93,6 +101,15 @@ ERROR_CODES = frozenset(
 #: server is going away.  Statement-level codes are non-fatal.
 FATAL_ERROR_CODES = frozenset({ERR_AUTH, ERR_PROTOCOL, ERR_TOO_LARGE, ERR_CAPACITY})
 
+#: Codes a client may transparently retry (spec §5): the statement
+#: provably did not apply.  ``query-timeout`` qualifies because engine
+#: checkpoints only fire between morsels and before a write's atomic
+#: mutation; ``overloaded`` and ``capacity`` were refused before
+#: admission.  ``query-cancelled`` is deliberately NOT retryable — the
+#: cancel expressed user intent.  Retryable error frames may carry an
+#: optional integer ``backoff_ms`` hint.
+RETRYABLE_ERROR_CODES = frozenset({ERR_QUERY_TIMEOUT, ERR_OVERLOADED, ERR_CAPACITY})
+
 #: Required fields per client→server message type (spec §3).
 CLIENT_MESSAGES: Mapping[str, Tuple[Tuple[str, type], ...]] = {
     "hello": (("version", int),),
@@ -101,6 +118,16 @@ CLIENT_MESSAGES: Mapping[str, Tuple[Tuple[str, type], ...]] = {
     "run_prepared": (("id", int), ("name", str)),
     "cancel": (("target", int),),
     "close": (),
+}
+
+#: Optional typed fields per client→server message type (spec §3): when
+#: present they must have the listed type (``ProtocolError`` otherwise);
+#: absent is always fine.  Value-range checks (e.g. a non-positive
+#: ``timeout_ms``) are statement-level ``sql`` errors, not protocol
+#: violations.
+OPTIONAL_CLIENT_FIELDS: Mapping[str, Tuple[Tuple[str, type], ...]] = {
+    "query": (("timeout_ms", int),),
+    "run_prepared": (("timeout_ms", int),),
 }
 
 #: Required fields per server→client message type (spec §4).
@@ -186,15 +213,21 @@ def validate_message(
     for field, ftype in spec:
         if field not in message:
             raise ProtocolError(f"{mtype!r} message missing field {field!r}")
-        value = message[field]
-        if not isinstance(value, ftype) or (
-            ftype is int and isinstance(value, bool)
-        ):
-            raise ProtocolError(
-                f"{mtype!r} field {field!r} must be {ftype.__name__}, "
-                f"got {type(value).__name__}"
-            )
+        _check_field_type(mtype, field, message[field], ftype)
+    if direction is CLIENT_MESSAGES:
+        for field, ftype in OPTIONAL_CLIENT_FIELDS.get(mtype, ()):
+            if field in message:
+                _check_field_type(mtype, field, message[field], ftype)
     return mtype
+
+
+def _check_field_type(mtype: str, field: str, value, ftype: type) -> None:
+    """One field's type check; ``bool`` never satisfies ``int``."""
+    if not isinstance(value, ftype) or (ftype is int and isinstance(value, bool)):
+        raise ProtocolError(
+            f"{mtype!r} field {field!r} must be {ftype.__name__}, "
+            f"got {type(value).__name__}"
+        )
 
 
 async def read_frame(
@@ -235,11 +268,27 @@ async def write_frame(
     await writer.drain()
 
 
-def error_frame(code: str, error: str, id: Optional[int] = None) -> Dict:
-    """Build an ``error`` message (statement-level when ``id`` is set)."""
+def error_frame(
+    code: str,
+    error: str,
+    id: Optional[int] = None,
+    backoff_ms: Optional[int] = None,
+) -> Dict:
+    """Build an ``error`` message (statement-level when ``id`` is set).
+
+    ``backoff_ms`` attaches the retry hint retryable codes may carry
+    (spec §5); rejecting it on non-retryable codes keeps the taxonomy
+    honest.
+    """
     if code not in ERROR_CODES:
         raise ValueError(f"unknown error code {code!r}")
     message: Dict = {"type": "error", "code": code, "error": error}
     if id is not None:
         message["id"] = id
+    if backoff_ms is not None:
+        if code not in RETRYABLE_ERROR_CODES:
+            raise ValueError(
+                f"backoff_ms is only valid on retryable codes, not {code!r}"
+            )
+        message["backoff_ms"] = int(backoff_ms)
     return message

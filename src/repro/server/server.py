@@ -31,14 +31,23 @@ Lifecycle
   ``run_prepared`` re-runs the stored statement through
   :meth:`AsyncSQLSession.execute_parsed` (the optimizer half still runs
   per execution, under the statement's admission slot).
-* ``cancel`` is cooperative and best-effort, with the session's
-  semantics: a still-queued statement is removed and answers with the
-  ``cancelled`` error code; a statement already executing finishes
-  atomically on its worker thread (a cancelled *running* write may
-  therefore still commit — the reply is ``cancelled`` either way).
+* ``cancel`` is cooperative, with the session's semantics: a
+  still-queued statement is removed and never runs; a statement already
+  *executing* has its
+  :class:`~repro.engine.interrupt.CancellationToken` fired and unwinds
+  at its next between-morsel checkpoint — reads leave tables untouched,
+  writes are atomically un-applied (the last checkpoint sits
+  immediately before the mutation).  The reply carries the
+  ``query-cancelled`` error code either way.  Statement deadlines ride
+  the same token: a ``timeout_ms`` field on ``query``/``run_prepared``
+  (or the server-wide ``statement_timeout_ms``) surfaces as the
+  retryable ``query-timeout`` code, and a full admission queue
+  (``session_max_queued``) is shed with the retryable ``overloaded``
+  code carrying a ``backoff_ms`` hint.
 * A client disconnect cancels that connection's statements the same
-  way: queued ones never run, running ones finish atomically, so the
-  committed write order never tears (fuzz-tested in
+  way: queued ones never run, running ones unwind at a checkpoint (or
+  commit whole if already past the final one), so the committed write
+  order never tears (fuzz-tested in
   ``tests/server/test_server_fuzz.py``).
 * :meth:`SQLServer.aclose` drains gracefully: stop accepting, abort
   *queued* statements with typed ``server-closed`` error frames
@@ -56,8 +65,18 @@ import operator
 from typing import Dict, List, Optional, Set
 
 from repro.engine.batch import Relation
+from repro.engine.interrupt import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    validate_timeout_ms,
+)
 from repro.engine.parallel import DEFAULT_MORSEL_ROWS, validate_parallelism
-from repro.sql.async_session import AsyncSQLSession, QueryStats, ServerClosedError
+from repro.sql.async_session import (
+    AsyncSQLSession,
+    QueryStats,
+    ServerClosedError,
+    SessionOverloadedError,
+)
 from repro.sql.parser import parse_statement
 from repro.sql.session import classify_statement
 from repro.server import protocol
@@ -66,17 +85,20 @@ from repro.server.protocol import (
     ERR_AUTH,
     ERR_CANCELLED,
     ERR_CAPACITY,
+    ERR_OVERLOADED,
+    ERR_QUERY_TIMEOUT,
     ERR_SERVER_CLOSED,
     ERR_SQL,
     ERR_UNKNOWN_PREPARED,
     PROTOCOL_VERSION,
     ConnectionClosedError,
     ProtocolError,
+    encode_frame,
     error_frame,
     read_frame,
     validate_message,
-    write_frame,
 )
+from repro.testing import faults
 from repro.storage.catalog import Catalog
 
 __all__ = ["SQLServer", "validate_port"]
@@ -140,7 +162,14 @@ class _Connection:
     async def send(self, message: Dict, max_frame_bytes: int) -> None:
         """Write one frame, serialized against concurrent statement tasks."""
         async with self.write_lock:
-            await write_frame(self.writer, message, max_frame_bytes)
+            data = encode_frame(message, max_frame_bytes)
+            if faults.ACTIVE:
+                # chaos-suite injection points: corrupt the outgoing
+                # frame or drop the connection mid-send
+                data = faults.mutate("server.frame", data)
+                faults.fire("server.send")
+            self.writer.write(data)
+            await self.writer.drain()
 
     async def close_transport(self) -> None:
         """Close the socket, swallowing transport teardown errors."""
@@ -157,10 +186,15 @@ class SQLServer:
     Parameters
     ----------
     catalog / index_manager / zero_branch_pruning / use_cost_model /
-    parallelism / morsel_rows / session_max_inflight / stats_history:
+    parallelism / morsel_rows / session_max_inflight /
+    session_max_queued / statement_timeout_ms / stall_timeout_s /
+    stats_history:
         Forwarded to the single shared :class:`AsyncSQLSession`
         (``session_max_inflight`` is its global ``max_inflight``
-        admission bound).
+        admission bound, ``session_max_queued`` its overload-shedding
+        queue bound, ``statement_timeout_ms`` the default per-statement
+        deadline clients may override per statement, and
+        ``stall_timeout_s`` the wedged-pool self-heal trigger).
     host / port:
         Bind address; ``port=0`` (the default) binds an ephemeral port,
         exposed as :attr:`port` after :meth:`start`.
@@ -199,6 +233,9 @@ class SQLServer:
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         session_max_inflight: int = 8,
+        session_max_queued: Optional[int] = None,
+        statement_timeout_ms: Optional[int] = None,
+        stall_timeout_s: Optional[float] = None,
         stats_history: int = 256,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
@@ -220,6 +257,9 @@ class SQLServer:
             parallelism=parallelism,
             morsel_rows=morsel_rows,
             max_inflight=session_max_inflight,
+            max_queued=session_max_queued,
+            statement_timeout_ms=statement_timeout_ms,
+            stall_timeout_s=stall_timeout_s,
             stats_history=stats_history,
         )
         self._server: Optional[asyncio.AbstractServer] = None
@@ -299,9 +339,17 @@ class SQLServer:
         # Abort queued statements (their tasks send server-closed
         # frames) and wait for admitted ones to finish executing.
         await self._db.shutdown()
-        # Let every statement task deliver its final frame.
-        pending = [t for c in self._connections for t in c.inflight.values()]
-        if pending:
+        # Let every statement task deliver its final frame.  Re-snapshot
+        # until quiescent: a statement task created while the drain was
+        # in flight (the frame loop keeps serving until the goodbye)
+        # would otherwise miss the gather and get its terminal frame
+        # cut off by the connection-task cancellation below — every
+        # statement id must see exactly one of result /
+        # error(query-cancelled) / error(server-closed).
+        while True:
+            pending = [t for c in self._connections for t in c.inflight.values()]
+            if not pending:
+                break
             await asyncio.gather(*pending, return_exceptions=True)
         for conn in list(self._connections):
             conn.closing = True
@@ -494,6 +542,14 @@ class SQLServer:
         execute through the shared session, reply with a typed frame."""
         sid = message["id"]
         try:
+            timeout_ms = message.get("timeout_ms")
+            if timeout_ms is not None:
+                # type-checked by validate_message; the value range is a
+                # statement-level error, not a protocol violation
+                try:
+                    timeout_ms = validate_timeout_ms(timeout_ms)
+                except (TypeError, ValueError) as exc:
+                    raise _StatementError(ERR_SQL, f"invalid timeout_ms: {exc}") from exc
             async with conn.slots:
                 if mtype == "run_prepared":
                     entry = conn.prepared.get(message["name"])
@@ -509,7 +565,9 @@ class SQLServer:
                         stmt = parse_statement(sql)
                     except Exception as exc:
                         raise _StatementError(ERR_SQL, str(exc)) from exc
-                result, stats = await self._db.execute_parsed(stmt, sql, with_stats=True)
+                result, stats = await self._db.execute_parsed(
+                    stmt, sql, with_stats=True, timeout_ms=timeout_ms
+                )
             columns, rows, row_count = _result_payload(result)
             frame: Dict = {
                 "type": "result",
@@ -528,6 +586,17 @@ class SQLServer:
             frame = error_frame(ERR_CANCELLED, "statement cancelled", id=sid)
         except _StatementError as exc:
             frame = error_frame(exc.code, exc.reason, id=sid)
+        except QueryTimeoutError as exc:
+            frame = error_frame(ERR_QUERY_TIMEOUT, str(exc), id=sid)
+        except QueryCancelledError:
+            # belt-and-braces: a token fired without the task being
+            # cancelled (e.g. a racing interrupt) still reports as a
+            # cancellation, not a generic sql error
+            frame = error_frame(ERR_CANCELLED, "statement cancelled", id=sid)
+        except SessionOverloadedError as exc:
+            frame = error_frame(
+                ERR_OVERLOADED, str(exc), id=sid, backoff_ms=exc.backoff_ms
+            )
         except ServerClosedError as exc:
             frame = error_frame(ERR_SERVER_CLOSED, str(exc), id=sid)
         except Exception as exc:

@@ -7,7 +7,12 @@ maintenance.  Parsed queries lower onto :mod:`repro.plan` logical plans,
 so every PatchIndex rewrite applies transparently to SQL text.
 """
 
-from repro.sql.async_session import AsyncSQLSession, QueryStats, ServerClosedError
+from repro.sql.async_session import (
+    AsyncSQLSession,
+    QueryStats,
+    ServerClosedError,
+    SessionOverloadedError,
+)
 from repro.sql.lexer import Token, TokenKind, tokenize
 from repro.sql.parser import SetStatement, parse_statement
 from repro.sql.session import (
@@ -27,6 +32,7 @@ __all__ = [
     "AsyncSQLSession",
     "QueryStats",
     "ServerClosedError",
+    "SessionOverloadedError",
     "PreparedStatement",
     "ConcurrentSessionError",
     "classify_statement",

@@ -33,11 +33,19 @@ Scheduling discipline
   behind running reads waits for them, it does not interrupt them.
 * **Cooperative cancellation**: cancelling an ``execute`` while it is
   still queued removes it before it ever starts (the statement never
-  runs); cancelling after dispatch lets the in-flight statement finish
-  on its thread (statement atomicity) while the awaiting caller
-  unblocks immediately — the admission slot is returned only when the
-  thread actually finishes, so ``max_inflight`` keeps meaning "threads
-  doing work".
+  runs); cancelling after dispatch fires the statement's
+  :class:`~repro.engine.interrupt.CancellationToken`, so a *running*
+  morsel pipeline unwinds at its next between-morsel checkpoint with
+  :class:`~repro.engine.interrupt.QueryCancelledError` — reads leave
+  tables untouched, writes are atomically un-applied (the last
+  checkpoint sits immediately before the mutation).  The awaiting
+  caller unblocks immediately either way; the admission slot is
+  returned only when the worker thread actually finishes (promptly
+  now, at checkpoint granularity), so ``max_inflight`` keeps meaning
+  "threads doing work".  Statement deadlines
+  (``statement_timeout_ms``) and overload shedding (``max_queued``,
+  :class:`SessionOverloadedError` with a backoff hint) ride the same
+  machinery.
 * Every query is timed: ``queued_ns`` (arrival → admission) and
   ``exec_ns`` (on-thread execution), recorded together with the
   planner's admission cost hint as :class:`QueryStats` and surfaced
@@ -66,6 +74,12 @@ import dataclasses
 import time
 from typing import Deque, List, Optional, Tuple
 
+from repro.engine.interrupt import (
+    CancellationToken,
+    QueryTimeoutError,
+    cancellation_scope,
+    validate_timeout_ms,
+)
 from repro.engine.parallel import (
     DEFAULT_MORSEL_ROWS,
     ExecutionContext,
@@ -81,8 +95,14 @@ from repro.sql.session import (
     classify_statement,
 )
 from repro.storage.catalog import Catalog
+from repro.testing import faults
 
-__all__ = ["AsyncSQLSession", "QueryStats", "ServerClosedError"]
+__all__ = [
+    "AsyncSQLSession",
+    "QueryStats",
+    "ServerClosedError",
+    "SessionOverloadedError",
+]
 
 
 class ServerClosedError(RuntimeError):
@@ -99,6 +119,22 @@ class ServerClosedError(RuntimeError):
     Subclasses :class:`RuntimeError` for compatibility with callers that
     guarded the pre-network close behavior.
     """
+
+
+class SessionOverloadedError(RuntimeError):
+    """The admission queue is full; the statement was shed, not queued.
+
+    Raised *synchronously* by :meth:`AsyncSQLSession.execute` when
+    ``max_queued`` is set and the FIFO queue is at the bound — the
+    statement never entered the queue, never ran, and is always safe to
+    retry.  ``backoff_ms`` is a deterministic retry hint proportional to
+    the current backlog; the network layer forwards it on the retryable
+    ``overloaded`` wire error (see ``docs/protocol.md`` §5).
+    """
+
+    def __init__(self, message: str, backoff_ms: int) -> None:
+        super().__init__(message)
+        self.backoff_ms = int(backoff_ms)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,10 +163,29 @@ class _Waiter:
         self.kind = kind
 
 
-def _timed_run(session: SQLSession, prepared: PreparedStatement):
-    """Worker-thread body: run the statement and clock it."""
+def _timed_run(
+    session: SQLSession,
+    prepared: PreparedStatement,
+    token: Optional[CancellationToken] = None,
+):
+    """Worker-thread body: run the statement under its token and clock it.
+
+    The cancellation scope is installed *here*, around the
+    ``run_prepared`` call, rather than threading the token through the
+    session API — the scope is thread-local, and this is the thread the
+    statement (and therefore every checkpoint on it) runs on; morsel
+    fan-outs re-capture the token explicitly at dispatch
+    (see :meth:`~repro.engine.parallel.ExecutionContext.map`).
+    """
+    if faults.ACTIVE:
+        faults.fire("session.dispatch")
     t0 = time.perf_counter_ns()
-    result = session.run_prepared(prepared)
+    if token is None:
+        result = session.run_prepared(prepared)
+    else:
+        token.check()
+        with cancellation_scope(token):
+            result = session.run_prepared(prepared)
     return result, time.perf_counter_ns() - t0
 
 
@@ -150,6 +205,24 @@ class AsyncSQLSession:
         Admission bound: at most this many statements execute on worker
         threads at once (also the external lane's thread count); the
         rest wait in the FIFO queue.
+    max_queued:
+        Overload shedding bound: when set, a statement arriving while
+        this many are already waiting for admission is refused with
+        :class:`SessionOverloadedError` (carrying a backoff hint)
+        instead of queueing without bound.  ``None`` (the default)
+        keeps the pre-shedding unbounded-queue behavior.
+    statement_timeout_ms:
+        Default per-statement deadline, measured from *arrival* (queue
+        wait counts); ``None`` disables.  Each statement may override
+        it via ``execute(..., timeout_ms=...)``.  Expired statements
+        raise :class:`~repro.engine.interrupt.QueryTimeoutError`; a
+        timed-out write never mutated anything (the engine's
+        checkpoints fire only between morsels and before the atomic
+        mutation), so timeouts are always safe to retry.
+    stall_timeout_s:
+        Forwarded to the shared :class:`ExecutionContext`: seconds
+        before a silent morsel task is treated as a wedged pool and the
+        self-healing serial fallback engages (``None`` disables).
     stats_history:
         How many per-query :class:`QueryStats` records to retain.
 
@@ -168,13 +241,22 @@ class AsyncSQLSession:
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         max_inflight: int = 8,
+        max_queued: Optional[int] = None,
+        statement_timeout_ms: Optional[int] = None,
+        stall_timeout_s: Optional[float] = None,
         stats_history: int = 256,
     ) -> None:
         self._max_inflight = validate_parallelism(max_inflight, name="max_inflight")
+        self._max_queued = (
+            None
+            if max_queued is None
+            else validate_parallelism(max_queued, name="max_queued")
+        )
         self._context = ExecutionContext(
             parallelism=parallelism,
             morsel_rows=morsel_rows,
             external_workers=self._max_inflight,
+            stall_timeout_s=stall_timeout_s,
         )
         self._session = SQLSession(
             catalog,
@@ -182,6 +264,7 @@ class AsyncSQLSession:
             zero_branch_pruning=zero_branch_pruning,
             use_cost_model=use_cost_model,
             context=self._context,
+            statement_timeout_ms=statement_timeout_ms,
         )
         self._queue: Deque[_Waiter] = collections.deque()
         self._inflight = 0
@@ -204,6 +287,16 @@ class AsyncSQLSession:
     def max_inflight(self) -> int:
         """Admission bound: statements executing concurrently at most."""
         return self._max_inflight
+
+    @property
+    def max_queued(self) -> Optional[int]:
+        """Shedding bound on the admission queue (None = unbounded)."""
+        return self._max_queued
+
+    @property
+    def statement_timeout_ms(self) -> Optional[int]:
+        """Default statement deadline of the session core (None = off)."""
+        return self._session.statement_timeout_ms
 
     @property
     def parallelism(self) -> int:
@@ -343,6 +436,15 @@ class AsyncSQLSession:
                 except ValueError:
                     pass
                 self._pump()
+            elif waiter.future.exception() is not None:
+                # aborted (shutdown's _abort_queued set ServerClosedError
+                # on the waiter) concurrently with the task cancel: no
+                # slot was ever granted, so there is nothing to give
+                # back — releasing here used to corrupt the admission
+                # accounting.  Reading exception() also marks it
+                # retrieved, silencing the loop's never-retrieved
+                # warning.
+                pass
             else:
                 # granted concurrently with the cancellation: the slot
                 # was never used, give it back
@@ -352,21 +454,35 @@ class AsyncSQLSession:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    async def execute(self, sql: str, with_stats: bool = False):
+    async def execute(
+        self,
+        sql: str,
+        with_stats: bool = False,
+        timeout_ms: Optional[int] = None,
+    ):
         """Run one statement; returns what :meth:`SQLSession.execute`
         returns (a Relation for SELECT, a row count for DML/SET).
 
         ``with_stats=True`` returns ``(result, QueryStats)`` instead —
         the hook the concurrency test subsystem uses to relate every
-        read to the write prefix it observed.
+        read to the write prefix it observed.  ``timeout_ms`` overrides
+        the session's ``statement_timeout_ms`` for this statement only.
         """
         # parse/classify at arrival (pure); optimize only once the slot
         # is granted, so the plan snapshots index state (patch counts,
         # zero-branch pruning) consistent with what execution will see —
         # a read queued behind a write must be planned *after* it
-        return await self.execute_parsed(parse_statement(sql), sql, with_stats)
+        return await self.execute_parsed(
+            parse_statement(sql), sql, with_stats, timeout_ms=timeout_ms
+        )
 
-    async def execute_parsed(self, stmt, sql: str, with_stats: bool = False):
+    async def execute_parsed(
+        self,
+        stmt,
+        sql: str,
+        with_stats: bool = False,
+        timeout_ms: Optional[int] = None,
+    ):
         """:meth:`execute` for an already-parsed statement.
 
         The server front-end's prepared statements parse once at
@@ -374,12 +490,57 @@ class AsyncSQLSession:
         half (optimize, then execute) still happens per run, under the
         same admission discipline as :meth:`execute`, so a prepared
         SELECT is planned against the index state its run will observe.
+
+        Interruption: every dispatched statement runs under its own
+        :class:`~repro.engine.interrupt.CancellationToken`.  Cancelling
+        the awaiting task fires the token, so a *running* morsel
+        pipeline unwinds at its next checkpoint instead of grinding to
+        completion; the admission slot is still held until the worker
+        thread actually returns.  The effective deadline
+        (``timeout_ms`` override, else the session default) is measured
+        from arrival and enforced both while queued (the admission wait
+        itself times out) and while executing.
         """
         if self._closed:
             raise ServerClosedError("AsyncSQLSession is closed")
+        if timeout_ms is not None:
+            timeout_ms = validate_timeout_ms(timeout_ms)
         kind = classify_statement(stmt)
+        if (
+            self._max_queued is not None
+            and kind != KIND_SESSION
+            and len(self._queue) >= self._max_queued
+        ):
+            backlog = len(self._queue) + self._inflight
+            backoff_ms = min(5_000, 25 * max(1, backlog))
+            raise SessionOverloadedError(
+                f"admission queue full ({len(self._queue)} queued, "
+                f"max_queued={self._max_queued}); retry in ~{backoff_ms} ms",
+                backoff_ms=backoff_ms,
+            )
+        effective_timeout = (
+            timeout_ms if timeout_ms is not None else self.statement_timeout_ms
+        )
+        token = CancellationToken(timeout_ms=effective_timeout)
         t_arrival = time.perf_counter_ns()
-        await self._admit(kind)
+        if token.deadline is None:
+            await self._admit(kind)
+        else:
+            remaining = token.remaining()
+            if remaining is not None and remaining <= 0:
+                raise QueryTimeoutError(
+                    f"query timed out after {effective_timeout} ms"
+                )
+            try:
+                await asyncio.wait_for(self._admit(kind), remaining)
+            except asyncio.TimeoutError:
+                # the deadline expired while queued; _admit's
+                # cancellation path already removed the waiter (or
+                # returned a just-granted slot)
+                raise QueryTimeoutError(
+                    f"query timed out after {effective_timeout} ms "
+                    "waiting for admission"
+                ) from None
         queued_ns = time.perf_counter_ns() - t_arrival
         prepared = self._session.prepare_parsed(stmt, sql)
 
@@ -398,12 +559,16 @@ class AsyncSQLSession:
             )
 
         seq_at_start = self._commit_seq
-        future = self._context.submit_external(_timed_run, self._session, prepared)
+        future = self._context.submit_external(
+            _timed_run, self._session, prepared, token
+        )
         try:
             result, exec_ns = await asyncio.wrap_future(future)
         except asyncio.CancelledError:
-            # the statement is already on a worker thread and will
-            # finish (statement atomicity); hold the slot until then
+            # fire the token so the statement's morsel pipeline unwinds
+            # at its next checkpoint instead of grinding to completion;
+            # the slot is held until the worker thread actually returns
+            token.cancel()
             loop = asyncio.get_running_loop()
             future.add_done_callback(
                 lambda f: loop.call_soon_threadsafe(

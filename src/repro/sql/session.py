@@ -28,6 +28,13 @@ import numpy as np
 
 from repro.engine.batch import ROWID, Relation
 from repro.engine.expressions import expression_columns
+from repro.engine.interrupt import (
+    CancellationToken,
+    cancellation_scope,
+    checkpoint,
+    current_token,
+    validate_timeout_ms,
+)
 from repro.engine.parallel import (
     DEFAULT_MORSEL_ROWS,
     ExecutionContext,
@@ -147,6 +154,16 @@ class SQLSession:
         context instead of creating one, never closes it, and takes its
         ``parallelism``/``morsel_rows`` knobs from it.  This is how
         ``AsyncSQLSession`` multiplexes many clients onto one pool.
+    statement_timeout_ms:
+        Default per-statement deadline in milliseconds; ``None`` (the
+        default) disables it.  :meth:`execute` arms a
+        :class:`~repro.engine.interrupt.CancellationToken` with this
+        deadline, and morsel pipelines unwind with
+        :class:`~repro.engine.interrupt.QueryTimeoutError` when it
+        expires — reads leave tables untouched, DML either fully
+        applies or raises before mutating anything.  Also settable per
+        session via ``SET statement_timeout_ms = N`` (``= off``
+        disables).
 
     The blocking session executes one statement at a time; concurrent
     :meth:`execute` calls from other threads raise
@@ -162,12 +179,15 @@ class SQLSession:
         parallelism: int = 1,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         context: Optional[ExecutionContext] = None,
+        statement_timeout_ms: Optional[int] = None,
     ) -> None:
         self.catalog = catalog
         if context is not None:
             parallelism = context.parallelism
             morsel_rows = context.morsel_rows
         self._morsel_rows = morsel_rows
+        self._statement_timeout_ms: Optional[int] = None
+        self.set_statement_timeout_ms(statement_timeout_ms)
         self._context: Optional[ExecutionContext] = None
         self._owns_context = True
         self._exec_guard = threading.Lock()
@@ -339,6 +359,15 @@ class SQLSession:
         statement is in flight gets :class:`ConcurrentSessionError`
         (the blocking session is not thread-safe; concurrent clients
         belong on ``AsyncSQLSession``).
+
+        With ``statement_timeout_ms`` set (constructor or ``SET``), the
+        statement runs under a deadline-armed
+        :class:`~repro.engine.interrupt.CancellationToken` and raises
+        :class:`~repro.engine.interrupt.QueryTimeoutError` if it runs
+        past it — always from *between* morsels, so storage is never
+        half-mutated.  A token already installed by the caller (via
+        :func:`~repro.engine.interrupt.cancellation_scope`) takes
+        precedence; the session never overrides an explicit scope.
         """
         if not self._exec_guard.acquire(blocking=False):
             raise ConcurrentSessionError(
@@ -347,7 +376,12 @@ class SQLSession:
                 "repro.sql.async_session.AsyncSQLSession for concurrent clients"
             )
         try:
-            return self.run_prepared(self.prepare(sql))
+            prepared = self.prepare(sql)
+            if self._statement_timeout_ms is None or current_token() is not None:
+                return self.run_prepared(prepared)
+            token = CancellationToken(timeout_ms=self._statement_timeout_ms)
+            with cancellation_scope(token):
+                return self.run_prepared(prepared)
         finally:
             self._exec_guard.release()
 
@@ -401,6 +435,22 @@ class SQLSession:
         """Current stage-1 join-order search strategy."""
         return self._join_order_search
 
+    def set_statement_timeout_ms(self, timeout_ms: Optional[int]) -> Optional[int]:
+        """Reconfigure the default statement deadline (None disables).
+
+        Validated like every knob: positive integers only (see
+        :func:`~repro.engine.interrupt.validate_timeout_ms`).
+        """
+        if timeout_ms is not None:
+            timeout_ms = validate_timeout_ms(timeout_ms)
+        self._statement_timeout_ms = timeout_ms
+        return timeout_ms
+
+    @property
+    def statement_timeout_ms(self) -> Optional[int]:
+        """Current default statement deadline in ms (None = disabled)."""
+        return self._statement_timeout_ms
+
     def _run_set(self, stmt: SetStatement) -> int:
         name = stmt.name.lower()
         if name == "parallelism":
@@ -409,10 +459,20 @@ class SQLSession:
         if name == "join_order_search":
             self.set_join_order_search(stmt.value)
             return self._join_order_search
+        if name == "statement_timeout_ms":
+            value = stmt.value
+            if isinstance(value, str) and value.lower() in ("off", "none"):
+                self.set_statement_timeout_ms(None)
+                return 0
+            self.set_statement_timeout_ms(value)
+            return self._statement_timeout_ms
         raise ValueError(f"unknown session setting {stmt.name!r}")
 
     def _run_insert(self, stmt: InsertStatement) -> int:
         table = self.catalog.table(stmt.table)
+        # INSERT mutates in one atomic step; the only interruption
+        # window is before it starts
+        checkpoint()
         values = {}
         for i, column in enumerate(stmt.columns):
             field = table.schema.field(column)
@@ -464,6 +524,18 @@ class SQLSession:
                     chunks,
                 )
                 return np.concatenate(pieces)
+        if current_token() is not None:
+            # interruptible serial path: same morsel loop, checkpointed.
+            # Concatenating per-chunk rowids in chunk order is the
+            # parallel path's own bit-identity property.
+            morsel_rows = ctx.morsel_rows if ctx is not None else self._morsel_rows
+            chunks = row_chunks(num_rows, max(1, morsel_rows))
+            if len(chunks) > 1:
+                pieces = []
+                for chunk in chunks:
+                    checkpoint()
+                    pieces.append(_morsel_predicate_rowids(arrays, predicate, chunk))
+                return np.concatenate(pieces)
         mask = np.asarray(predicate.evaluate(Relation(arrays)), dtype=bool)
         return np.flatnonzero(mask).astype(np.int64)
 
@@ -484,6 +556,9 @@ class SQLSession:
             column: np.asarray(expr.evaluate(rel))
             for column, expr in stmt.assignments.items()
         }
+        # last interruption window: past this point the mutation applies
+        # atomically, so an interrupted UPDATE is provably un-applied
+        checkpoint()
         if isinstance(table, PartitionedTable):
             # matched rowids are global: split them onto the partitions'
             # local rowid spaces (partition offsets are computed before
@@ -498,6 +573,9 @@ class SQLSession:
         rowids = self._predicate_rowids(table, stmt.predicate)
         if len(rowids) == 0:
             return 0
+        # last interruption window before the atomic mutation (see
+        # _run_update)
+        checkpoint()
         if isinstance(table, PartitionedTable):
             table.delete_global(rowids)
         else:

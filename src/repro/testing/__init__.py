@@ -1,0 +1,24 @@
+"""Test-only instrumentation shipped with the library.
+
+Production code imports :mod:`repro.testing.faults` for its injection
+points; with no injector armed every point is a single module-level
+boolean read, so the harness costs nothing outside the chaos suites.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedDisconnectError,
+    InjectedFaultError,
+    InjectedWorkerError,
+    inject,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "InjectedDisconnectError",
+    "InjectedFaultError",
+    "InjectedWorkerError",
+    "inject",
+]

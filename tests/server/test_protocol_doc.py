@@ -88,3 +88,19 @@ def test_doc_error_codes_match_module():
     section = text.split("## §5")[1].split("## §6")[0]
     listed = set(re.findall(r"^\| `([a-z-]+)`", section, re.MULTILINE))
     assert listed == set(protocol.ERROR_CODES)
+
+
+def test_doc_retryable_column_matches_module():
+    """§5's retryable column is exactly ``RETRYABLE_ERROR_CODES``."""
+    from repro.server import protocol
+
+    text = DOC.read_text(encoding="utf-8")
+    section = text.split("## §5")[1].split("## §6")[0]
+    rows = re.findall(
+        r"^\| `([a-z-]+)`\s*\| [a-z]+\s*\| [a-z*]+\s*\| ([a-z]+)",
+        section,
+        re.MULTILINE,
+    )
+    assert rows, "no parseable taxonomy rows in §5"
+    retryable = {code for code, flag in rows if flag == "yes"}
+    assert retryable == set(protocol.RETRYABLE_ERROR_CODES)

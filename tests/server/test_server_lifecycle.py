@@ -344,7 +344,7 @@ class TestCancel:
                     await cli.cancel(s2)
                     with pytest.raises(ServerError) as err:
                         await cli.wait(s2)
-                    assert err.value.code == "cancelled" and not err.value.fatal
+                    assert err.value.code == "query-cancelled" and not err.value.fatal
                     gate.set()
                     assert (await cli.wait(s1)).row_count == 5
                     # the connection survives a cancellation
@@ -388,4 +388,30 @@ class TestKnobValidation:
             SQLServer(make_catalog(11), session_max_inflight=0)
         srv = SQLServer(make_catalog(11), session_max_inflight=3)
         assert srv.session.max_inflight == 3
+        srv.session.close()
+
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "250", True])
+    def test_statement_timeout_ms_rejected(self, value):
+        with pytest.raises((TypeError, ValueError)):
+            SQLServer(make_catalog(11), statement_timeout_ms=value)
+
+    @pytest.mark.parametrize("value", [0, -3, 2.0, "8", False])
+    def test_session_max_queued_rejected(self, value):
+        with pytest.raises((TypeError, ValueError)):
+            SQLServer(make_catalog(11), session_max_queued=value)
+
+    @pytest.mark.parametrize("value", [0, -1.0, "2", True])
+    def test_stall_timeout_rejected(self, value):
+        with pytest.raises((TypeError, ValueError)):
+            SQLServer(make_catalog(11), stall_timeout_s=value)
+
+    def test_resilience_knobs_forwarded(self):
+        srv = SQLServer(
+            make_catalog(11),
+            session_max_queued=5,
+            statement_timeout_ms=1_000,
+            stall_timeout_s=2.5,
+        )
+        assert srv.session.max_queued == 5
+        assert srv.session.statement_timeout_ms == 1_000
         srv.session.close()
