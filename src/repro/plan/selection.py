@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.parallel import DEFAULT_MIN_PARALLEL_ROWS
 from repro.plan import nodes
@@ -88,7 +88,10 @@ class PhysicalOperatorAssignment:
     """
 
     def __init__(self) -> None:
-        self._choices: Dict[int, OperatorChoice] = {}
+        # Keyed by id(node), with the node pinned alongside the choice:
+        # without the reference, a freed node's id could be recycled by a
+        # fresh allocation and inherit its entry.
+        self._choices: Dict[int, Tuple[nodes.PlanNode, OperatorChoice]] = {}
 
     def assign(
         self,
@@ -104,11 +107,12 @@ class PhysicalOperatorAssignment:
                 cost = cost_model.operator_cost(node)
             except (TypeError, KeyError, ValueError):
                 cost = {}
-        self._choices[id(node)] = OperatorChoice(operator, cost, source)
+        self._choices[id(node)] = (node, OperatorChoice(operator, cost, source))
 
     def get(self, node: nodes.PlanNode) -> Optional[OperatorChoice]:
         """The choice recorded for ``node``, or None."""
-        return self._choices.get(id(node))
+        entry = self._choices.get(id(node))
+        return None if entry is None else entry[1]
 
     def __len__(self) -> int:
         """Number of nodes with recorded choices."""
