@@ -1,0 +1,108 @@
+"""Per-commit cost of the WAL sync policies (durability PR acceptance).
+
+Times single-row INSERT commits through :class:`SQLSession` against
+four configurations — no durability at all, then ``wal_sync = off``
+(flush only), ``group`` (piggybacked fsync) and ``fsync`` (fsync per
+commit) — and reports commit p50/p99 per policy.  The orderings the
+report rests on: ``off`` adds only the frame encode + flush over the
+in-memory baseline, and ``fsync`` pays the full device sync on every
+commit, bounding the other two.
+
+Set ``BENCH_QUICK=1`` to shrink the run (the CI smoke job).
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.bench import format_table, write_report
+from repro.sql import SQLSession
+from repro.storage import Catalog, Table
+
+QUICK = bool(int(os.environ.get("BENCH_QUICK", "0")))
+N_COMMITS = 60 if QUICK else 400
+WARMUP = 5 if QUICK else 20
+N_ROWS = 10_000
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(
+        Table.from_arrays(
+            "events",
+            {
+                "eid": np.arange(N_ROWS, dtype=np.int64),
+                "val": np.zeros(N_ROWS),
+            },
+        )
+    )
+    return catalog
+
+
+def percentile(samples, q):
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def time_commits(data_dir, wal_sync):
+    kwargs = {}
+    if data_dir is not None:
+        kwargs = {
+            "data_dir": data_dir,
+            "wal_sync": wal_sync,
+            # keep checkpoints out of the timed loop
+            "checkpoint_interval": None,
+        }
+    session = SQLSession(make_catalog(), **kwargs)
+    try:
+        samples = []
+        for i in range(WARMUP + N_COMMITS):
+            sql = f"INSERT INTO events (eid, val) VALUES ({N_ROWS + i}, 0.5)"
+            start = time.perf_counter()
+            session.execute(sql)
+            elapsed = time.perf_counter() - start
+            if i >= WARMUP:
+                samples.append(elapsed)
+        return samples
+    finally:
+        session.close()
+
+
+def test_wal_overhead():
+    configs = [
+        ("none", None),
+        ("off", "off"),
+        ("group", "group"),
+        ("fsync", "fsync"),
+    ]
+    rows = []
+    results = {}
+    root = tempfile.mkdtemp(prefix="wal_overhead_")
+    try:
+        for label, policy in configs:
+            data_dir = None if policy is None else os.path.join(root, label)
+            samples = time_commits(data_dir, policy)
+            p50, p99 = percentile(samples, 50), percentile(samples, 99)
+            results[label] = p50
+            rows.append([label, len(samples), p50 * 1e6, p99 * 1e6])
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    report = format_table(
+        ["wal_sync", "commits", "p50 (us)", "p99 (us)"],
+        rows,
+        title=(
+            f"WAL commit overhead: {N_COMMITS} single-row INSERTs per "
+            f"policy over {N_ROWS} base rows (durability off = baseline)"
+        ),
+    )
+    write_report("wal_overhead", report)
+
+    # sanity orderings, with generous slack for shared-runner noise:
+    # flush-only logging must not blow the in-memory commit up by an
+    # order of magnitude, and per-commit fsync must cost at least as
+    # much as flush-only logging
+    assert results["off"] < results["none"] * 10 + 0.001
+    assert results["fsync"] >= results["off"] * 0.5

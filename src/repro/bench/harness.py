@@ -134,10 +134,20 @@ def results_dir() -> str:
 
 
 def write_report(name: str, text: str) -> str:
-    """Print a report and persist it under benchmarks/results/."""
+    """Print a report; persist it only when ``BENCH_WRITE`` is set.
+
+    Every benchmark prints its report unconditionally, but the file
+    under ``benchmarks/results/`` is refreshed only when the
+    ``BENCH_WRITE`` environment variable is truthy (the dedicated
+    bench CI job sets it) — a plain test run used to rewrite every
+    result file it happened to execute, churning noisy timing artifacts
+    through unrelated commits.  Only the benchmark that actually ran
+    ever touches its own file; nothing else is rewritten.
+    """
     print()
     print(text)
     path = os.path.join(results_dir(), f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(text + "\n")
+    if os.environ.get("BENCH_WRITE", "").lower() not in ("", "0", "false"):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
     return path

@@ -195,6 +195,12 @@ class SQLServer:
         queue bound, ``statement_timeout_ms`` the default per-statement
         deadline clients may override per statement, and
         ``stall_timeout_s`` the wedged-pool self-heal trigger).
+    data_dir / wal_sync / checkpoint_interval / checkpoint_retain:
+        Durability knobs, forwarded to the shared session.  With
+        ``data_dir`` set, the server recovers the directory's committed
+        state before accepting connections, WAL-logs every commit, and
+        the graceful drain of :meth:`aclose` syncs and checkpoints (via
+        the session core's close), so a clean restart replays nothing.
     host / port:
         Bind address; ``port=0`` (the default) binds an ephemeral port,
         exposed as :attr:`port` after :meth:`start`.
@@ -238,6 +244,10 @@ class SQLServer:
         stall_timeout_s: Optional[float] = None,
         stats_history: int = 256,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        data_dir: Optional[str] = None,
+        wal_sync: str = "fsync",
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_retain: int = 2,
     ) -> None:
         self._host = host
         self._port = validate_port(port)
@@ -261,6 +271,10 @@ class SQLServer:
             statement_timeout_ms=statement_timeout_ms,
             stall_timeout_s=stall_timeout_s,
             stats_history=stats_history,
+            data_dir=data_dir,
+            wal_sync=wal_sync,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_retain=checkpoint_retain,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()

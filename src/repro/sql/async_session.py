@@ -225,6 +225,15 @@ class AsyncSQLSession:
         self-healing serial fallback engages (``None`` disables).
     stats_history:
         How many per-query :class:`QueryStats` records to retain.
+    data_dir / wal_sync / checkpoint_interval / checkpoint_retain:
+        Durability knobs, forwarded to the underlying
+        :class:`SQLSession` (validated there even without a data
+        directory).  With ``data_dir`` set, recovery runs during
+        construction and every committed write is WAL-logged at its
+        commit point — the exclusive-writer admission discipline means
+        WAL order *is* commit order, so no extra locking is needed.
+        :meth:`shutdown`/:meth:`aclose` drain, sync and checkpoint via
+        the session core's ``close()``.
 
     Usage::
 
@@ -245,6 +254,10 @@ class AsyncSQLSession:
         statement_timeout_ms: Optional[int] = None,
         stall_timeout_s: Optional[float] = None,
         stats_history: int = 256,
+        data_dir: Optional[str] = None,
+        wal_sync: str = "fsync",
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_retain: int = 2,
     ) -> None:
         self._max_inflight = validate_parallelism(max_inflight, name="max_inflight")
         self._max_queued = (
@@ -258,14 +271,24 @@ class AsyncSQLSession:
             external_workers=self._max_inflight,
             stall_timeout_s=stall_timeout_s,
         )
-        self._session = SQLSession(
-            catalog,
-            index_manager,
-            zero_branch_pruning=zero_branch_pruning,
-            use_cost_model=use_cost_model,
-            context=self._context,
-            statement_timeout_ms=statement_timeout_ms,
-        )
+        try:
+            self._session = SQLSession(
+                catalog,
+                index_manager,
+                zero_branch_pruning=zero_branch_pruning,
+                use_cost_model=use_cost_model,
+                context=self._context,
+                statement_timeout_ms=statement_timeout_ms,
+                data_dir=data_dir,
+                wal_sync=wal_sync,
+                checkpoint_interval=checkpoint_interval,
+                checkpoint_retain=checkpoint_retain,
+            )
+        except BaseException:
+            # a failed recovery (or a rejected durability knob) must not
+            # leak the just-created worker pool
+            self._context.close()
+            raise
         self._queue: Deque[_Waiter] = collections.deque()
         self._inflight = 0
         self._active_reads = 0
@@ -307,6 +330,26 @@ class AsyncSQLSession:
     def join_order_search(self) -> str:
         """Stage-1 join-order strategy of the session core."""
         return self._session.join_order_search
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        """Durable data directory of the session core (None = in-memory)."""
+        return self._session.data_dir
+
+    @property
+    def wal_sync(self) -> str:
+        """WAL sync policy of the session core."""
+        return self._session.wal_sync
+
+    @property
+    def checkpoint_interval(self) -> Optional[int]:
+        """Automatic checkpoint cadence of the session core (None = off)."""
+        return self._session.checkpoint_interval
+
+    @property
+    def durability(self):
+        """The session core's :class:`DurabilityManager` (None = in-memory)."""
+        return self._session.durability
 
     @property
     def inflight(self) -> int:

@@ -370,8 +370,10 @@ class _Parser:
         tok = self._advance()
         if tok.kind is TokenKind.NUMBER:
             value: object = float(tok.value) if "." in tok.value else int(tok.value)
-        elif tok.kind in (TokenKind.STRING, TokenKind.IDENT):
-            value = tok.value
+        elif tok.kind in (TokenKind.STRING, TokenKind.IDENT, TokenKind.KEYWORD):
+            # KEYWORD covers bare enum values that collide with SQL
+            # keywords, e.g. ``SET wal_sync = group``.
+            value = tok.value.lower() if tok.kind is TokenKind.KEYWORD else tok.value
         else:
             raise SQLSyntaxError(
                 f"expected a literal SET value, found {tok.value!r} "

@@ -57,6 +57,11 @@ from repro.sql.parser import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.partition import PartitionedTable
+from repro.storage.wal import (
+    DurabilityManager,
+    validate_checkpoint_interval,
+    validate_wal_sync,
+)
 
 __all__ = [
     "SQLSession",
@@ -164,6 +169,29 @@ class SQLSession:
         applies or raises before mutating anything.  Also settable per
         session via ``SET statement_timeout_ms = N`` (``= off``
         disables).
+    data_dir:
+        Directory for the write-ahead log and checkpoints (created on
+        demand).  When given, the session recovers whatever committed
+        state the directory holds at construction (newest valid
+        checkpoint + WAL-tail replay, see
+        :mod:`repro.storage.recovery`) and from then on logs every
+        committed write statement *before* its table mutation applies.
+        ``None`` (the default) keeps the session purely in-memory.
+        Constructor-only: ``SET data_dir`` is rejected because the
+        recovery/replay handshake only makes sense at startup.
+    wal_sync:
+        WAL durability policy — ``fsync`` (default; fsync per commit),
+        ``group`` (piggybacked fsync on an interval) or ``off`` (flush
+        per commit only).  Validated even without ``data_dir`` so
+        misconfiguration fails fast; also settable via ``SET wal_sync``.
+    checkpoint_interval:
+        Commits between automatic checkpoints (``None`` disables; the
+        close-time checkpoint still runs).  Positive integers only;
+        also settable via ``SET checkpoint_interval = N`` (``= off``
+        disables).
+    checkpoint_retain:
+        Checkpoint files kept on disk (WAL segments are pruned only
+        once no retained checkpoint needs them).
 
     The blocking session executes one statement at a time; concurrent
     :meth:`execute` calls from other threads raise
@@ -180,6 +208,10 @@ class SQLSession:
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         context: Optional[ExecutionContext] = None,
         statement_timeout_ms: Optional[int] = None,
+        data_dir: Optional[str] = None,
+        wal_sync: str = "fsync",
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_retain: int = 2,
     ) -> None:
         self.catalog = catalog
         if context is not None:
@@ -192,6 +224,15 @@ class SQLSession:
         self._owns_context = True
         self._exec_guard = threading.Lock()
         self._join_order_search = "dp"
+        # durability knobs validate up front even without a data_dir,
+        # so a misconfigured server fails at construction, not first use
+        self._wal_sync = validate_wal_sync(wal_sync)
+        self._checkpoint_interval = (
+            None
+            if checkpoint_interval is None
+            else validate_checkpoint_interval(checkpoint_interval)
+        )
+        self._durability: Optional[DurabilityManager] = None
         self.optimizer: Optional[Optimizer] = None
         if index_manager is not None:
             self.optimizer = Optimizer(
@@ -206,6 +247,17 @@ class SQLSession:
             self._attach_context(context)
         else:
             self.set_parallelism(parallelism)
+        if data_dir is not None:
+            self._durability = DurabilityManager(
+                catalog,
+                data_dir,
+                wal_sync=self._wal_sync,
+                checkpoint_interval=self._checkpoint_interval,
+                checkpoint_retain=checkpoint_retain,
+            )
+            # replays the WAL tail through this very session (replay
+            # mode: nothing re-logs), then arms commit-point logging
+            self._durability.recover(self)
 
     # ------------------------------------------------------------------
     # parallelism knob
@@ -263,13 +315,22 @@ class SQLSession:
         self._refresh_cost_models(parallelism)
 
     def close(self) -> None:
-        """Release the session's worker pool (the session stays usable
-        serially).  A shared context is detached, not closed — its
-        owner decides its lifetime."""
+        """Release the worker pool and seal durability.
+
+        The session stays usable serially (a shared context is
+        detached, not closed — its owner decides its lifetime), but a
+        durable session's WAL is synced, checkpointed (when any commit
+        happened since the last checkpoint) and closed: this is the
+        graceful-shutdown flush the server drain relies on.  Writes
+        after close on a durable session raise
+        :class:`~repro.storage.wal.WALError`.
+        """
         old, self._context = self._context, None
         if old is not None and self._owns_context:
             old.close()
         self._owns_context = True
+        if self._durability is not None:
+            self._durability.close(checkpoint=True)
 
     def __enter__(self) -> "SQLSession":
         return self
@@ -342,11 +403,11 @@ class SQLSession:
             plan = prepared.plan if prepared.plan is not None else stmt.plan
             return execute_plan(plan, self.catalog, context=self._context)
         if isinstance(stmt, InsertStatement):
-            return self._run_insert(stmt)
+            return self._run_insert(stmt, prepared.sql)
         if isinstance(stmt, UpdateStatement):
-            return self._run_update(stmt)
+            return self._run_update(stmt, prepared.sql)
         if isinstance(stmt, DeleteStatement):
-            return self._run_delete(stmt)
+            return self._run_delete(stmt, prepared.sql)
         if isinstance(stmt, SetStatement):
             return self._run_set(stmt)
         raise TypeError(f"unhandled statement {type(stmt).__name__}")
@@ -451,6 +512,83 @@ class SQLSession:
         """Current default statement deadline in ms (None = disabled)."""
         return self._statement_timeout_ms
 
+    # ------------------------------------------------------------------
+    # durability knobs
+    # ------------------------------------------------------------------
+    @property
+    def data_dir(self) -> Optional[str]:
+        """The durable data directory (None = in-memory session)."""
+        return self._durability.data_dir if self._durability is not None else None
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The durability manager (None = in-memory session)."""
+        return self._durability
+
+    def set_wal_sync(self, policy: str) -> str:
+        """Reconfigure the WAL sync policy (``off|group|fsync``).
+
+        Validated even without a data directory (the knob then records
+        the preference for a durable restart), mirroring ``SET
+        wal_sync = fsync``; on a durable session the new policy applies
+        from the next commit.
+        """
+        self._wal_sync = validate_wal_sync(policy)
+        if self._durability is not None:
+            self._durability.set_wal_sync(self._wal_sync)
+        return self._wal_sync
+
+    @property
+    def wal_sync(self) -> str:
+        """Current WAL sync policy (meaningful once ``data_dir`` is set)."""
+        return self._wal_sync
+
+    def set_checkpoint_interval(self, interval: Optional[int]) -> Optional[int]:
+        """Reconfigure the automatic checkpoint cadence (None disables).
+
+        Validated like every knob: positive integers only (see
+        :func:`~repro.storage.wal.validate_checkpoint_interval`).
+        """
+        if interval is not None:
+            interval = validate_checkpoint_interval(interval)
+        self._checkpoint_interval = interval
+        if self._durability is not None:
+            self._durability.set_checkpoint_interval(interval)
+        return interval
+
+    @property
+    def checkpoint_interval(self) -> Optional[int]:
+        """Commits between automatic checkpoints (None = disabled)."""
+        return self._checkpoint_interval
+
+    def checkpoint(self) -> Optional[str]:
+        """Force a checkpoint now; returns its path (None if in-memory).
+
+        Snapshots every table, rotates the WAL and prunes segments no
+        retained checkpoint needs (see
+        :meth:`~repro.storage.wal.DurabilityManager.checkpoint`).
+        """
+        if self._durability is None:
+            return None
+        return self._durability.checkpoint()
+
+    def _log_write(self, sql: str) -> Optional[int]:
+        """Log a committed write at the commit point (no-op in-memory).
+
+        Must be called *after* the last interruption window and
+        *immediately before* the atomic table mutation: a logged record
+        without its mutation can then only mean a process crash, which
+        recovery resolves by replaying the record.
+        """
+        if self._durability is None:
+            return None
+        return self._durability.log_write(sql)
+
+    def _rollback_logged(self, seq: Optional[int]) -> None:
+        """Un-log a write whose table mutation raised (see ``_log_write``)."""
+        if seq is not None and self._durability is not None:
+            self._durability.rollback_record(seq)
+
     def _run_set(self, stmt: SetStatement) -> int:
         name = stmt.name.lower()
         if name == "parallelism":
@@ -466,9 +604,29 @@ class SQLSession:
                 return 0
             self.set_statement_timeout_ms(value)
             return self._statement_timeout_ms
+        if name == "wal_sync":
+            self.set_wal_sync(stmt.value)
+            if self._durability is not None:
+                # logged so a restart replays into the same policy
+                self._durability.log_set(f"SET wal_sync = {self._wal_sync}")
+            return 0
+        if name == "checkpoint_interval":
+            value = stmt.value
+            if isinstance(value, str) and value.lower() in ("off", "none"):
+                value = None
+            self.set_checkpoint_interval(value)
+            if self._durability is not None:
+                logged = "off" if value is None else value
+                self._durability.log_set(f"SET checkpoint_interval = {logged}")
+            return 0
+        if name == "data_dir":
+            raise ValueError(
+                "data_dir is constructor-only: recovery and WAL replay are "
+                "bound to session startup, so SET data_dir is rejected"
+            )
         raise ValueError(f"unknown session setting {stmt.name!r}")
 
-    def _run_insert(self, stmt: InsertStatement) -> int:
+    def _run_insert(self, stmt: InsertStatement, sql: str = "") -> int:
         table = self.catalog.table(stmt.table)
         # INSERT mutates in one atomic step; the only interruption
         # window is before it starts
@@ -486,7 +644,13 @@ class SQLSession:
         missing = set(table.schema.names) - set(stmt.columns)
         if missing:
             raise ValueError(f"INSERT must provide all columns; missing {sorted(missing)}")
-        table.insert(values)
+        # commit point: log-before-apply, no interruption window between
+        seq = self._log_write(sql)
+        try:
+            table.insert(values)
+        except BaseException:
+            self._rollback_logged(seq)
+            raise
         return len(stmt.rows)
 
     def _predicate_rowids(self, table, predicate) -> np.ndarray:
@@ -539,10 +703,14 @@ class SQLSession:
         mask = np.asarray(predicate.evaluate(Relation(arrays)), dtype=bool)
         return np.flatnonzero(mask).astype(np.int64)
 
-    def _run_update(self, stmt: UpdateStatement) -> int:
+    def _run_update(self, stmt: UpdateStatement, sql: str = "") -> int:
         table = self.catalog.table(stmt.table)
         rowids = self._predicate_rowids(table, stmt.predicate)
         if len(rowids) == 0:
+            # zero-row writes still commit (and are acked with a commit
+            # sequence), so they log too: the WAL stays 1:1 with the
+            # commit log and replay re-derives the same zero matches
+            self._log_write(sql)
             return 0
         referenced = set()
         for expr in stmt.assignments.values():
@@ -559,27 +727,41 @@ class SQLSession:
         # last interruption window: past this point the mutation applies
         # atomically, so an interrupted UPDATE is provably un-applied
         checkpoint()
-        if isinstance(table, PartitionedTable):
-            # matched rowids are global: split them onto the partitions'
-            # local rowid spaces (partition offsets are computed before
-            # any partition mutates, so the statement is atomic per §3.2)
-            table.modify_global(rowids, new_values)
-        else:
-            table.modify(rowids, new_values)
+        # commit point: the WAL append sits after the final interrupt
+        # checkpoint and immediately before the atomic mutation, so a
+        # logged-but-unapplied record can only mean a process crash
+        seq = self._log_write(sql)
+        try:
+            if isinstance(table, PartitionedTable):
+                # matched rowids are global: split them onto the partitions'
+                # local rowid spaces (partition offsets are computed before
+                # any partition mutates, so the statement is atomic per §3.2)
+                table.modify_global(rowids, new_values)
+            else:
+                table.modify(rowids, new_values)
+        except BaseException:
+            self._rollback_logged(seq)
+            raise
         return len(rowids)
 
-    def _run_delete(self, stmt: DeleteStatement) -> int:
+    def _run_delete(self, stmt: DeleteStatement, sql: str = "") -> int:
         table = self.catalog.table(stmt.table)
         rowids = self._predicate_rowids(table, stmt.predicate)
         if len(rowids) == 0:
+            self._log_write(sql)  # see _run_update: no-op writes commit
             return 0
         # last interruption window before the atomic mutation (see
         # _run_update)
         checkpoint()
-        if isinstance(table, PartitionedTable):
-            table.delete_global(rowids)
-        else:
-            table.delete(rowids)
+        seq = self._log_write(sql)
+        try:
+            if isinstance(table, PartitionedTable):
+                table.delete_global(rowids)
+            else:
+                table.delete(rowids)
+        except BaseException:
+            self._rollback_logged(seq)
+            raise
         return len(rowids)
 
 

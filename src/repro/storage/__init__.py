@@ -14,6 +14,21 @@ from repro.storage.table import Field, Schema, Table
 from repro.storage.partition import PartitionedTable
 from repro.storage.catalog import Catalog
 from repro.storage.snapshot import Snapshot, ShardLockManager
+from repro.storage.wal import (
+    WAL_SYNC_POLICIES,
+    DurabilityManager,
+    WALError,
+    WriteAheadLog,
+    validate_checkpoint_interval,
+    validate_data_dir,
+    validate_wal_sync,
+)
+from repro.storage.recovery import (
+    CheckpointCorruptionError,
+    RecoveryError,
+    RecoveryReport,
+    WALCorruptionError,
+)
 
 __all__ = [
     "ColumnType",
@@ -28,4 +43,15 @@ __all__ = [
     "Catalog",
     "Snapshot",
     "ShardLockManager",
+    "WAL_SYNC_POLICIES",
+    "DurabilityManager",
+    "WALError",
+    "WriteAheadLog",
+    "validate_checkpoint_interval",
+    "validate_data_dir",
+    "validate_wal_sync",
+    "CheckpointCorruptionError",
+    "RecoveryError",
+    "RecoveryReport",
+    "WALCorruptionError",
 ]

@@ -1,0 +1,341 @@
+"""Crash recovery: checkpoint load + WAL-tail replay.
+
+The read side of the durability subsystem (:mod:`repro.storage.wal`
+writes, this module recovers).  :func:`run_recovery` opens a data
+directory and rebuilds the exact committed state:
+
+1. **Checkpoint choice.**  Checkpoints are tried newest-first; a file
+   that fails its CRC/framing check is skipped (with the typed
+   :class:`CheckpointCorruptionError` recorded) and the previous one is
+   used — WAL segment pruning retains every segment the oldest kept
+   checkpoint needs, so an older base just means a longer replay.  If
+   checkpoints exist but none validates, startup is refused.
+2. **WAL scan.**  Every segment is scanned frame-by-frame.  An invalid
+   frame *at the end of the newest segment* is a **torn tail** — the
+   prefix of a record the crash cut short — and is truncated away at the
+   last valid frame boundary.  An invalid frame anywhere else (bytes or
+   valid frames follow it, or it sits in a non-final segment) is
+   **mid-log corruption**: recovery refuses startup with
+   :class:`WALCorruptionError` rather than silently skipping committed
+   history.  The record sequence across segments must be gapless and
+   strictly ascending; anything else is also a refusal.
+3. **Replay.**  Records with ``seq`` greater than the checkpoint's are
+   re-executed through the owning session's ``prepare`` /
+   ``run_prepared`` path — the same code path that ran them the first
+   time and the same one the chaos suite's serial-replay oracle uses —
+   with WAL logging suppressed, so recovered state is bit-identical to
+   serial replay of the durable commit-log prefix.
+
+The torn/corrupt distinction is deterministic because a torn append is
+always a *prefix of one valid frame*: the frame magic survives (or
+fewer bytes than a header remain), the length field points past EOF, or
+the payload CRC fails with nothing after it.  A CRC failure or bad
+magic with more log after it can only be corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import zlib
+from typing import List, Optional, Tuple
+
+from repro.storage import wal as walmod
+
+__all__ = [
+    "RecoveryError",
+    "WALCorruptionError",
+    "CheckpointCorruptionError",
+    "RecoveryReport",
+    "WALRecord",
+    "list_checkpoints",
+    "list_segments",
+    "load_checkpoint",
+    "scan_segment",
+    "scan_wal",
+    "read_records",
+    "run_recovery",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Recovery could not rebuild a consistent state from the data dir."""
+
+
+class WALCorruptionError(RecoveryError):
+    """Mid-log WAL corruption: an invalid frame with history after it
+    (or a sequence gap).  Startup is refused — truncating here would
+    silently drop committed writes."""
+
+
+class CheckpointCorruptionError(RecoveryError):
+    """A checkpoint file failed its CRC/framing check."""
+
+
+@dataclasses.dataclass(frozen=True)
+class WALRecord:
+    """One decoded WAL record."""
+
+    seq: int
+    kind: str  # "write" | "set"
+    sql: str
+
+
+@dataclasses.dataclass
+class RecoveryReport:
+    """What :func:`run_recovery` found and did."""
+
+    data_dir: str
+    checkpoint_seq: int = 0
+    checkpoint_path: Optional[str] = None
+    skipped_checkpoints: List[str] = dataclasses.field(default_factory=list)
+    records_scanned: int = 0
+    records_replayed: int = 0
+    writes_replayed: int = 0
+    truncated_bytes: int = 0
+    last_seq: int = 0
+    initialized: bool = False  # fresh directory: nothing to recover
+
+
+# ----------------------------------------------------------------------
+# directory listing
+# ----------------------------------------------------------------------
+def _listed(data_dir: str, prefix: str, suffix: str) -> List[Tuple[int, str]]:
+    out: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(data_dir)
+    except FileNotFoundError:
+        return out
+    for name in names:
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        stem = name[len(prefix) : -len(suffix)]
+        if not stem.isdigit():
+            continue
+        out.append((int(stem), os.path.join(data_dir, name)))
+    out.sort()
+    return out
+
+
+def list_checkpoints(data_dir: str) -> List[Tuple[int, str]]:
+    """``(seq, path)`` of every checkpoint file, oldest first.
+
+    In-flight ``.tmp`` files (a crash mid-checkpoint) are ignored; the
+    atomic-rename protocol guarantees a listed file was written whole —
+    though its *content* is still CRC-verified on load.
+    """
+    return _listed(data_dir, "checkpoint-", ".ckpt")
+
+
+def list_segments(data_dir: str) -> List[Tuple[int, str]]:
+    """``(first_seq, path)`` of every WAL segment, oldest first."""
+    return _listed(data_dir, "wal-", ".log")
+
+
+def load_checkpoint(path: str):
+    """Load + CRC-verify one checkpoint: ``(seq, manifest, arrays)``.
+
+    Raises :class:`CheckpointCorruptionError` on any framing, CRC or
+    decode failure.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        return walmod.load_snapshot(data)
+    except OSError as exc:
+        raise CheckpointCorruptionError(f"cannot read checkpoint {path}: {exc}") from exc
+    except Exception as exc:
+        raise CheckpointCorruptionError(f"invalid checkpoint {path}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# WAL scanning
+# ----------------------------------------------------------------------
+def _find_frame_after(data: bytes, start: int) -> bool:
+    """Is there a complete, valid frame anywhere at/after ``start``?
+
+    Used when a frame's length field points past EOF: a genuinely torn
+    tail has nothing valid after it, while a bit-flipped length mid-log
+    would appear to swallow later valid frames — resyncing on the magic
+    distinguishes the two so corruption is refused, not truncated.
+    """
+    header = walmod.FRAME_HEADER
+    pos = data.find(walmod.FRAME_MAGIC, start)
+    while pos != -1:
+        if pos + header.size <= len(data):
+            _, length, crc = header.unpack_from(data, pos)
+            end = pos + header.size + length
+            if end <= len(data) and zlib.crc32(data[pos + header.size : end]) == crc:
+                return True
+        pos = data.find(walmod.FRAME_MAGIC, pos + 1)
+    return False
+
+
+def scan_segment(
+    path: str, allow_torn: bool
+) -> Tuple[List[WALRecord], int, bool]:
+    """Scan one segment: ``(records, good_offset, torn)``.
+
+    ``good_offset`` is the byte offset just past the last valid frame.
+    With ``allow_torn`` (the newest segment only) an invalid tail is
+    reported as torn; otherwise any invalid byte raises
+    :class:`WALCorruptionError`.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    header = walmod.FRAME_HEADER
+    records: List[WALRecord] = []
+    offset = 0
+    size = len(data)
+    torn_reason: Optional[str] = None
+    while offset < size:
+        if size - offset < header.size:
+            torn_reason = "short header"
+            break
+        magic, length, crc = header.unpack_from(data, offset)
+        if magic != walmod.FRAME_MAGIC:
+            raise WALCorruptionError(
+                f"bad frame magic at {path}:{offset}; a torn append "
+                "preserves the magic, so this is corruption"
+            )
+        end = offset + header.size + length
+        if end > size:
+            # length field points past EOF: torn — unless a valid frame
+            # hides in the claimed extent, which means a flipped length
+            if _find_frame_after(data, offset + header.size):
+                raise WALCorruptionError(
+                    f"frame at {path}:{offset} claims length {length} past "
+                    "EOF but valid frames follow: corrupt length field"
+                )
+            torn_reason = "payload extends past EOF"
+            break
+        payload = data[offset + header.size : end]
+        if zlib.crc32(payload) != crc:
+            if end == size:
+                torn_reason = "payload CRC mismatch on the final frame"
+                break
+            raise WALCorruptionError(
+                f"payload CRC mismatch at {path}:{offset} with "
+                f"{size - end} bytes of log after it"
+            )
+        try:
+            seq, kind, sql = walmod.decode_payload(payload)
+        except Exception as exc:
+            raise WALCorruptionError(
+                f"undecodable WAL payload at {path}:{offset}: {exc}"
+            ) from exc
+        records.append(WALRecord(seq, kind, sql))
+        offset = end
+    if torn_reason is not None:
+        if allow_torn:
+            return records, offset, True
+        raise WALCorruptionError(
+            f"invalid WAL frame at {path}:{offset} ({torn_reason}) in a "
+            "non-final segment"
+        )
+    return records, offset, False
+
+
+def scan_wal(
+    segments: List[Tuple[int, str]], truncate: bool = True
+) -> Tuple[List[WALRecord], int]:
+    """Scan every segment in order: ``(records, truncated_bytes)``.
+
+    Torn tails are tolerated (and truncated, when ``truncate``) only in
+    the newest segment; an older segment must end exactly on a frame
+    boundary.  The combined record stream must be gapless and strictly
+    ascending by one, or :class:`WALCorruptionError` is raised.
+    """
+    records: List[WALRecord] = []
+    truncated = 0
+    for i, (_, path) in enumerate(segments):
+        is_last = i == len(segments) - 1
+        segment_records, good_offset, torn = scan_segment(path, allow_torn=is_last)
+        if torn:
+            size = os.path.getsize(path)
+            truncated = size - good_offset
+            if truncate:
+                with open(path, "r+b") as fh:
+                    fh.truncate(good_offset)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        records.extend(segment_records)
+    seqs = [r.seq for r in records]
+    if seqs and seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+        raise WALCorruptionError(
+            "WAL record sequence has gaps or reordering; refusing to "
+            "replay a log with missing committed history"
+        )
+    return records, truncated
+
+
+def read_records(data_dir: str) -> List[WALRecord]:
+    """Every record currently on disk, oldest first (no truncation).
+
+    Test/oracle helper: with a large ``checkpoint_retain`` the full
+    commit history from sequence 1 stays scannable, which is what the
+    chaos suite replays serially as its ground truth.
+    """
+    records, _ = scan_wal(list_segments(data_dir), truncate=False)
+    return records
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def run_recovery(manager, session) -> RecoveryReport:
+    """Rebuild ``session``'s catalog from ``manager``'s data directory.
+
+    Called by :meth:`repro.storage.wal.DurabilityManager.recover` with
+    replay-mode already armed (so re-executed statements do not re-log).
+    Chooses the newest valid checkpoint, restores it in place, scans the
+    WAL (truncating a torn tail), and replays the tail records through
+    ``session.prepare`` / ``session.run_prepared``.
+    """
+    report = RecoveryReport(data_dir=manager.data_dir)
+    ckpts = list_checkpoints(manager.data_dir)
+    manifest = arrays = None
+    for seq, path in reversed(ckpts):
+        try:
+            ckpt_seq, manifest, arrays = load_checkpoint(path)
+        except CheckpointCorruptionError:
+            report.skipped_checkpoints.append(path)
+            continue
+        if ckpt_seq != seq:
+            report.skipped_checkpoints.append(path)
+            manifest = arrays = None
+            continue
+        report.checkpoint_seq = ckpt_seq
+        report.checkpoint_path = path
+        break
+    if ckpts and report.checkpoint_path is None:
+        raise CheckpointCorruptionError(
+            f"all {len(ckpts)} checkpoint(s) in {manager.data_dir} failed "
+            "validation; refusing to guess at a base image"
+        )
+    if manifest is not None:
+        walmod.restore_catalog(manager.catalog, manifest, arrays)
+
+    segments = list_segments(manager.data_dir)
+    records, truncated = scan_wal(segments, truncate=True)
+    report.records_scanned = len(records)
+    report.truncated_bytes = truncated
+    report.last_seq = max(
+        report.checkpoint_seq, records[-1].seq if records else 0
+    )
+
+    tail = [r for r in records if r.seq > report.checkpoint_seq]
+    if tail and tail[0].seq != report.checkpoint_seq + 1:
+        raise WALCorruptionError(
+            f"WAL tail starts at sequence {tail[0].seq} but the checkpoint "
+            f"covers through {report.checkpoint_seq}: missing segment(s)"
+        )
+    for record in tail:
+        prepared = session.prepare(record.sql)
+        session.run_prepared(prepared)
+        report.records_replayed += 1
+        if record.kind == "write":
+            report.writes_replayed += 1
+
+    report.initialized = not ckpts and not segments
+    return report

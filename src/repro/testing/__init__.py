@@ -6,6 +6,7 @@ boolean read, so the harness costs nothing outside the chaos suites.
 """
 
 from repro.testing.faults import (
+    KNOWN_POINTS,
     FaultInjector,
     FaultRule,
     InjectedDisconnectError,
@@ -15,6 +16,7 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "KNOWN_POINTS",
     "FaultInjector",
     "FaultRule",
     "InjectedDisconnectError",

@@ -29,7 +29,8 @@ Supported actions:
 Byte corruption is separate: codecs call :func:`mutate` on outgoing
 frames, and a ``corrupt`` rule flips one deterministically chosen byte.
 
-Known injection points (grep for ``faults.fire`` / ``faults.mutate``):
+Known injection points (the :data:`KNOWN_POINTS` registry; grep for
+``faults.fire`` / ``faults.mutate`` — a test asserts the two agree):
 
 - ``worker.morsel`` — inside every pool/inline morsel task
   (:meth:`repro.engine.parallel.ExecutionContext.map`).
@@ -37,6 +38,18 @@ Known injection points (grep for ``faults.fire`` / ``faults.mutate``):
   statement body.
 - ``server.send`` — before a server frame is written to a connection.
 - ``server.frame`` — mutate point for outgoing server frames.
+- ``wal.append`` — before a WAL frame is written
+  (:meth:`repro.storage.wal.WriteAheadLog.append`); a ``raise`` rule
+  here is a crash at the commit point, before the statement logged.
+- ``wal.fsync`` — before ``os.fsync`` of the WAL
+  (:meth:`repro.storage.wal.WriteAheadLog.sync`); a crash between a
+  record's flush and its fsync, the window group/off policies leave
+  open under power loss.
+- ``checkpoint.write`` — after a checkpoint temp file is written and
+  fsynced but before its atomic rename
+  (:meth:`repro.storage.wal.DurabilityManager.checkpoint`); a crash
+  here must leave the previous checkpoint + un-rotated WAL fully
+  recoverable.
 """
 
 from __future__ import annotations
@@ -49,6 +62,7 @@ from typing import Dict, Iterator, Mapping, Optional
 
 __all__ = [
     "ACTIVE",
+    "KNOWN_POINTS",
     "FaultInjector",
     "FaultRule",
     "InjectedDisconnectError",
@@ -62,6 +76,21 @@ __all__ = [
 #: Fast-path guard read by every injection point.  Only :func:`inject`
 #: flips it, and only for the duration of a test block.
 ACTIVE = False
+
+#: Every injection point compiled into the codebase, in rough
+#: request-path order.  The chaos suites iterate this to kill at every
+#: point, and ``tests/testing/test_faults_registry.py`` asserts it
+#: matches the ``faults.fire``/``faults.mutate`` call sites *and* the
+#: module docstring, so the registry cannot drift.
+KNOWN_POINTS = (
+    "server.frame",
+    "server.send",
+    "session.dispatch",
+    "worker.morsel",
+    "wal.append",
+    "wal.fsync",
+    "checkpoint.write",
+)
 
 _INJECTOR: Optional["FaultInjector"] = None
 

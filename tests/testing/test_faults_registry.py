@@ -1,0 +1,44 @@
+"""The fault-point registry must match reality.
+
+``repro.testing.faults.KNOWN_POINTS`` documents every injection point in
+the codebase; this test greps the source tree for actual
+``faults.fire(...)`` / ``faults.mutate(...)`` call sites and asserts set
+equality, so a new point cannot be added (or an old one removed)
+without updating the registry and its docs.
+"""
+
+import os
+import re
+
+import repro
+import repro.testing.faults as faults_module
+from repro.testing import KNOWN_POINTS
+
+CALL_SITE = re.compile(r"""faults\.(?:fire|mutate)\(\s*["']([^"']+)["']""")
+
+
+def _source_points():
+    root = os.path.dirname(repro.__file__)
+    points = set()
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, name), encoding="utf-8") as fh:
+                points.update(CALL_SITE.findall(fh.read()))
+    return points
+
+
+def test_registry_matches_call_sites():
+    assert _source_points() == set(KNOWN_POINTS)
+
+
+def test_registry_enumerates_all_seven_points():
+    assert len(KNOWN_POINTS) == 7
+    assert len(set(KNOWN_POINTS)) == 7
+
+
+def test_every_point_is_documented():
+    doc = faults_module.__doc__
+    for point in KNOWN_POINTS:
+        assert f"``{point}``" in doc, f"{point} missing from faults docstring"
