@@ -1,0 +1,41 @@
+"""Per-query timing baselines over the differential corpus.
+
+Each SELECT in the corpus gets a stored median wall-clock baseline in
+``benchmarks/results/baselines.json``; this benchmark re-times them and
+applies the noise-tolerant gate from :mod:`repro.bench.baselines` — a
+query fails only past ``BENCH_BASELINE_FACTOR``× its baseline (default
+5×), so scheduler jitter passes and accidental O(n²) regressions do
+not.  ``BENCH_WRITE=1`` refreshes the stored file (after the gate);
+``BENCH_BASELINE_RESET=1`` accepts an intentional new perf profile.
+"""
+
+from repro.bench import format_table, write_report
+from repro.bench.baselines import gate_and_maybe_write, measure_queries
+from repro.sql import SQLSession
+from repro.testing import build_reference_catalog, default_corpus
+
+
+def test_corpus_query_baselines():
+    catalog = build_reference_catalog(seed=0)
+    session = SQLSession(catalog)
+    queries = {
+        q.qid: q.sql for q in default_corpus(seed=7) if q.kind == "select"
+    }
+    timings = measure_queries(session.execute, queries, repeats=3, warmup=1)
+    diffs = gate_and_maybe_write(timings)
+
+    rows = [
+        (
+            d.qid,
+            f"{d.current_s * 1e3:.2f}",
+            "-" if d.baseline_s is None else f"{d.baseline_s * 1e3:.2f}",
+            "-" if d.ratio is None else f"{d.ratio:.2f}",
+        )
+        for d in diffs
+    ]
+    report = format_table(
+        ["query", "now (ms)", "baseline (ms)", "ratio"],
+        rows,
+        title=f"Differential-corpus query timings ({len(rows)} queries)",
+    )
+    write_report("regression_baselines", report)

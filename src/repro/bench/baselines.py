@@ -1,0 +1,169 @@
+"""Per-query timing baselines with a noise-tolerant CI diff gate.
+
+The differential corpus doubles as a perf-regression net: each SELECT
+gets a stored median wall-clock baseline in
+``benchmarks/results/baselines.json`` and CI compares fresh timings
+against it.  Absolute Python timings are noisy — machines, load and
+interpreter versions all move them — so the gate is deliberately
+coarse: a query only fails when it runs more than ``factor``× its
+stored baseline (``BENCH_BASELINE_FACTOR``, default 5.0), catching
+order-of-magnitude regressions (an accidental O(n²), a lost rewrite)
+while shrugging off scheduler jitter.
+
+Environment protocol (mirrors :func:`repro.bench.harness.write_report`):
+
+* ``BENCH_WRITE`` — truthy: persist freshly measured baselines.  The
+  gate still runs FIRST against the stored file, so a regression
+  cannot silently rewrite its own baseline.
+* ``BENCH_BASELINE_RESET`` — truthy: skip the gate and accept the new
+  timings as the baseline (for intentional perf-profile changes).
+* ``BENCH_BASELINE_FACTOR`` — override the slowdown factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.bench.harness import results_dir, time_fn
+
+__all__ = [
+    "BaselineGateError",
+    "BaselineDiff",
+    "load_baselines",
+    "save_baselines",
+    "baselines_path",
+    "measure_queries",
+    "diff_against_baselines",
+    "gate_and_maybe_write",
+    "DEFAULT_FACTOR",
+]
+
+DEFAULT_FACTOR = 5.0
+#: Timings below this floor are pure overhead; the gate ignores them
+#: (a 0.2 ms query "regressing" to 1.5 ms is scheduler noise, not perf).
+MIN_GATED_SECONDS = 0.005
+
+
+class BaselineGateError(AssertionError):
+    """At least one query regressed past the allowed slowdown factor."""
+
+
+@dataclasses.dataclass
+class BaselineDiff:
+    """One query's fresh timing against its stored baseline."""
+
+    qid: str
+    baseline_s: Optional[float]
+    current_s: float
+    factor: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / baseline, ``None`` when no baseline exists yet."""
+        if self.baseline_s is None or self.baseline_s <= 0:
+            return None
+        return self.current_s / self.baseline_s
+
+    @property
+    def regressed(self) -> bool:
+        """True when the timing breaks the gate (see module doc)."""
+        if self.ratio is None:
+            return False  # new query: nothing to compare against
+        if max(self.current_s, self.baseline_s) < MIN_GATED_SECONDS:
+            return False
+        return self.ratio > self.factor
+
+
+def baselines_path() -> str:
+    """Location of the stored baseline file."""
+    return os.path.join(results_dir(), "baselines.json")
+
+
+def load_baselines(path: Optional[str] = None) -> Dict[str, float]:
+    """Stored ``{query id: median seconds}`` (empty when absent)."""
+    path = baselines_path() if path is None else path
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {str(k): float(v) for k, v in data.get("timings", {}).items()}
+
+
+def save_baselines(
+    timings: Mapping[str, float], path: Optional[str] = None
+) -> str:
+    """Persist ``timings`` (sorted, rounded) for stable diffs."""
+    path = baselines_path() if path is None else path
+    payload = {
+        "note": (
+            "median wall-clock seconds per differential-corpus query; "
+            "gated by BENCH_BASELINE_FACTOR (see repro.bench.baselines)"
+        ),
+        "timings": {k: round(float(v), 6) for k, v in sorted(timings.items())},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def measure_queries(
+    run: Callable[[str], object],
+    queries: Mapping[str, str],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Dict[str, float]:
+    """Median seconds for each ``{qid: sql}`` via ``run(sql)``."""
+    return {
+        qid: time_fn(lambda sql=sql: run(sql), repeats=repeats, warmup=warmup)
+        for qid, sql in queries.items()
+    }
+
+
+def diff_against_baselines(
+    current: Mapping[str, float],
+    stored: Mapping[str, float],
+    factor: Optional[float] = None,
+) -> List[BaselineDiff]:
+    """Compare fresh timings to stored ones (no verdict, just diffs)."""
+    if factor is None:
+        factor = float(os.environ.get("BENCH_BASELINE_FACTOR", DEFAULT_FACTOR))
+    return [
+        BaselineDiff(qid, stored.get(qid), seconds, factor)
+        for qid, seconds in sorted(current.items())
+    ]
+
+
+def _truthy(name: str) -> bool:
+    return os.environ.get(name, "").lower() not in ("", "0", "false")
+
+
+def gate_and_maybe_write(
+    current: Mapping[str, float], path: Optional[str] = None
+) -> List[BaselineDiff]:
+    """Apply the gate, then (only then) honor ``BENCH_WRITE``.
+
+    Raises :class:`BaselineGateError` listing every regressed query —
+    unless ``BENCH_BASELINE_RESET`` is set, which accepts the new
+    profile.  With ``BENCH_WRITE`` set the measured timings are
+    persisted after the gate passes, so a regressing run can never
+    refresh its own baseline by accident.
+    """
+    stored = load_baselines(path)
+    diffs = diff_against_baselines(current, stored)
+    regressed = [d for d in diffs if d.regressed]
+    if regressed and not _truthy("BENCH_BASELINE_RESET"):
+        lines = ", ".join(
+            f"{d.qid}: {d.current_s * 1e3:.1f}ms vs baseline "
+            f"{d.baseline_s * 1e3:.1f}ms ({d.ratio:.1f}x > {d.factor:.1f}x)"
+            for d in regressed
+        )
+        raise BaselineGateError(f"timing regressions past the gate: {lines}")
+    if _truthy("BENCH_WRITE") or _truthy("BENCH_BASELINE_RESET"):
+        merged = dict(stored)
+        merged.update(current)
+        save_baselines(merged, path)
+    return diffs

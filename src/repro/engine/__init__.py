@@ -28,10 +28,13 @@ from repro.engine.interrupt import (
 from repro.engine.expressions import (
     BinaryExpr,
     ColumnRef,
+    ComparisonExpr,
     Expression,
+    IsNullExpr,
     Literal,
     col,
     expression_columns,
+    is_null,
     lit,
     where,
 )
@@ -79,6 +82,9 @@ __all__ = [
     "sort_permutation",
     "Expression",
     "expression_columns",
+    "ComparisonExpr",
+    "IsNullExpr",
+    "is_null",
     "ColumnRef",
     "Literal",
     "BinaryExpr",

@@ -14,11 +14,14 @@ __all__ = [
     "ColumnRef",
     "Literal",
     "BinaryExpr",
+    "ComparisonExpr",
     "UnaryExpr",
+    "IsNullExpr",
     "CaseExpr",
     "col",
     "lit",
     "where",
+    "is_null",
     "expression_columns",
 ]
 
@@ -32,22 +35,22 @@ class Expression:
 
     # -- comparison operators ------------------------------------------
     def __eq__(self, other: object):  # type: ignore[override]
-        return BinaryExpr(operator.eq, "=", self, _wrap(other))
+        return ComparisonExpr(operator.eq, "=", self, _wrap(other))
 
     def __ne__(self, other: object):  # type: ignore[override]
-        return BinaryExpr(operator.ne, "<>", self, _wrap(other))
+        return ComparisonExpr(operator.ne, "<>", self, _wrap(other))
 
     def __lt__(self, other: object):
-        return BinaryExpr(operator.lt, "<", self, _wrap(other))
+        return ComparisonExpr(operator.lt, "<", self, _wrap(other))
 
     def __le__(self, other: object):
-        return BinaryExpr(operator.le, "<=", self, _wrap(other))
+        return ComparisonExpr(operator.le, "<=", self, _wrap(other))
 
     def __gt__(self, other: object):
-        return BinaryExpr(operator.gt, ">", self, _wrap(other))
+        return ComparisonExpr(operator.gt, ">", self, _wrap(other))
 
     def __ge__(self, other: object):
-        return BinaryExpr(operator.ge, ">=", self, _wrap(other))
+        return ComparisonExpr(operator.ge, ">=", self, _wrap(other))
 
     # -- boolean connectives -------------------------------------------
     def __and__(self, other: object):
@@ -141,6 +144,59 @@ class BinaryExpr(Expression):
         return f"({self.left!r} {self.symbol} {self.right!r})"
 
 
+_NOT_NONE_UFUNC = np.frompyfunc(lambda v: v is not None, 1, 1)
+
+
+def _not_null_mask(arr: np.ndarray) -> np.ndarray:
+    """True where a value is present (SQL not-NULL).
+
+    NULL is represented as ``None`` in object (string) columns and as
+    NaN in float columns; integer columns cannot hold NULLs.
+    """
+    if arr.dtype == object:
+        if len(arr) == 0:
+            return np.zeros(0, dtype=bool)
+        return _NOT_NONE_UFUNC(arr).astype(bool)
+    if np.issubdtype(arr.dtype, np.floating):
+        return ~np.isnan(arr)
+    return np.ones(len(arr), dtype=bool)
+
+
+class ComparisonExpr(BinaryExpr):
+    """Comparison with SQL NULL semantics: NULL never matches.
+
+    SQL three-valued logic collapses to two values at the predicate
+    boundary: a comparison involving NULL evaluates to NULL, and NULL
+    rows are excluded — so here any comparison where either operand is
+    NULL (``None`` in object columns, NaN in float columns) yields
+    ``False``.  This matches SQLite/DuckDB row selection for plain
+    predicates (``WHERE x = NULL`` matches nothing, ``x <> 1`` skips
+    NULL rows); ``NOT`` over a NULL comparison still differs from
+    strict three-valued logic and is tracked in the differential
+    harness's xfail manifest.
+    """
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        left = np.asarray(self.left.evaluate(rel))
+        right = np.asarray(self.right.evaluate(rel))
+        if left.dtype != object and right.dtype != object:
+            out = np.asarray(self.fn(left, right), dtype=bool)
+            # numpy says NaN != x is True; SQL says NULL <> x is NULL
+            if self.symbol == "<>":
+                if np.issubdtype(left.dtype, np.floating):
+                    out &= ~np.isnan(left)
+                if np.issubdtype(right.dtype, np.floating):
+                    out &= ~np.isnan(right)
+            return out
+        valid = _not_null_mask(left) & _not_null_mask(right)
+        out = np.zeros(len(valid), dtype=bool)
+        if valid.any():
+            out[valid] = np.asarray(
+                self.fn(left[valid], right[valid]), dtype=bool
+            )
+        return out
+
+
 class UnaryExpr(Expression):
     """Vectorized unary operation."""
 
@@ -156,6 +212,28 @@ class UnaryExpr(Expression):
         return f"{self.symbol}({self.child!r})"
 
 
+class IsNullExpr(Expression):
+    """SQL ``x IS NULL`` / ``x IS NOT NULL`` membership-in-NULL test.
+
+    The only predicate form that *selects* NULL rows (comparisons never
+    do, see :class:`ComparisonExpr`).  NULL is ``None`` in object
+    columns and NaN in float columns; integer columns have no NULLs,
+    so ``IS NULL`` over them is constant-false.
+    """
+
+    def __init__(self, child: Expression, negate: bool = False) -> None:
+        self.child = child
+        self.negate = negate
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        present = _not_null_mask(np.asarray(self.child.evaluate(rel)))
+        return present if self.negate else ~present
+
+    def __repr__(self) -> str:
+        op = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"({self.child!r} {op})"
+
+
 class IsInExpr(Expression):
     """Membership test (``x IN (v1, v2, ...)``)."""
 
@@ -164,8 +242,14 @@ class IsInExpr(Expression):
         self.values = list(values)
 
     def evaluate(self, rel: Relation) -> np.ndarray:
-        vals = self.child.evaluate(rel)
-        return np.isin(vals, self.values)
+        vals = np.asarray(self.child.evaluate(rel))
+        # SQL: NULL IN (...) is NULL (row excluded), and a NULL member
+        # of the value list can never produce a match
+        members = [v for v in self.values if v is not None]
+        out = np.asarray(np.isin(vals, members), dtype=bool)
+        if vals.dtype == object or np.issubdtype(vals.dtype, np.floating):
+            out &= _not_null_mask(vals)
+        return out
 
     def __repr__(self) -> str:
         return f"({self.child!r} IN {self.values!r})"
@@ -209,6 +293,11 @@ def where(
     return CaseExpr(cond, _wrap(then), _wrap(otherwise))
 
 
+def is_null(expr: Expression, negate: bool = False) -> IsNullExpr:
+    """Shorthand ``IS [NOT] NULL`` test."""
+    return IsNullExpr(expr, negate)
+
+
 def _wrap(value: object) -> Expression:
     return value if isinstance(value, Expression) else Literal(value)
 
@@ -223,7 +312,7 @@ def expression_columns(expr: Expression) -> set:
             out.add(node.name)
         elif isinstance(node, BinaryExpr):
             stack.extend([node.left, node.right])
-        elif isinstance(node, (UnaryExpr, IsInExpr)):
+        elif isinstance(node, (UnaryExpr, IsInExpr, IsNullExpr)):
             stack.append(node.child)
         elif isinstance(node, CaseExpr):
             stack.extend([node.cond, node.then, node.otherwise])

@@ -1008,14 +1008,12 @@ class MergeUnion(Operator):
     Combines the already-sorted non-patch flow with the sorted patch
     flow without re-sorting the union: the inputs are treated as sorted
     runs and combined by the deterministic k-way merge of
-    :mod:`repro.engine.parallel_sort`.  Ascending, equal keys keep
-    input order (earlier input first, then within-input order) —
-    bit-identical to stably re-sorting the concatenation.  Descending,
-    the inputs must be non-increasing and equal keys take *reversed*
-    input order — bit-identical to the canonical reversed-stable
-    descending sort the ``Sort`` operator produces, for any orderable
-    key dtype (the former numeric-negation path limited descending
-    merges to int/float keys and could not express that tie rule).
+    :mod:`repro.engine.parallel_sort`.  Equal keys keep input order
+    (earlier input first, then within-input order) in BOTH directions —
+    bit-identical to stably re-sorting the concatenation, matching SQL's
+    per-key direction semantics where a descending key reverses only the
+    order *between* distinct key values, never the tie order within one.
+    Descending, the inputs must be non-increasing.
     """
 
     def __init__(self, inputs: Sequence[Operator], key: str, ascending: bool = True) -> None:
@@ -1092,22 +1090,29 @@ class ReuseLoad(Operator):
 
 
 class Limit(Operator):
-    """First ``n`` rows of the child."""
+    """First ``n`` rows of the child, after skipping ``offset`` rows."""
 
-    def __init__(self, child: Operator, n: int) -> None:
+    def __init__(self, child: Operator, n: int, offset: int = 0) -> None:
         if n < 0:
             raise ValueError("limit must be non-negative")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
         self.child = child
         self.n = n
+        self.offset = offset
 
     def children(self) -> List[Operator]:
         return [self.child]
 
     def execute(self) -> Relation:
         rel = self.child.execute()
-        return rel.take(np.arange(min(self.n, rel.num_rows)))
+        start = min(self.offset, rel.num_rows)
+        stop = min(start + self.n, rel.num_rows)
+        return rel.take(np.arange(start, stop))
 
     def label(self) -> str:
+        if self.offset:
+            return f"Limit({self.n}, offset={self.offset})"
         return f"Limit({self.n})"
 
 

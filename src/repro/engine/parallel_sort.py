@@ -16,19 +16,21 @@ including multi-key, descending and NaN/None orderings.
 
 Ordering semantics
 ------------------
-:func:`serial_sort_permutation` is the reference: the repeated
-stable-argsort loop :meth:`repro.engine.batch.Relation.sort_by` has
-always used (least-significant key first; a descending key reverses the
-stable order, which also reverses the tie order accumulated so far).
-The parallel path reproduces it exactly via a single-pass reduction:
-the serial loop equals one stable lexicographic sort whose key ``i``
-uses the *effective* direction ``d_1 * ... * d_i`` (each descending
-reversal flips every less-significant comparison) and whose final
-tie-break on original row index uses the product of all directions.
-Multi-key inputs are rank-encoded per key (dense codes in argsort
-order, NaN/NaT/None grouped as one largest value, directions folded in
-by flipping codes) and combined into one ``int64`` key, so the merge
-only ever compares scalars.
+:func:`serial_sort_permutation` is the reference: a least-significant-
+key-first loop of stable argsorts where a descending key reverses its
+*equal-key groups* only — ties keep the order established by the
+less-significant keys, and full-row ties always keep original row
+order.  This is SQL ``ORDER BY`` semantics: each key's direction is
+independent (``ORDER BY a DESC, b`` still orders ``b`` ascending
+within equal ``a``).  An earlier revision reversed the whole
+permutation per descending key, which flipped the tie order of every
+less-significant key — a wrong-answer bug the differential harness
+caught against SQLite.  The parallel path reproduces the reference
+exactly via a single-pass reduction: multi-key inputs are rank-encoded
+per key (dense codes in argsort order, NaN/NaT/None grouped as one
+largest value, a descending direction folded in by flipping that key's
+codes) and combined into one ``int64`` key, so the merge only ever
+compares scalars and full-row ties fall back to original row index.
 
 Partition affinity
 ------------------
@@ -193,8 +195,12 @@ def serial_sort_permutation(
 ) -> np.ndarray:
     """The canonical stable multi-key permutation (serial reference).
 
-    Replicates :meth:`Relation.sort_by`'s repeated stable-argsort loop
-    exactly; the parallel path is defined as bit-identical to this.
+    SQL ``ORDER BY`` semantics: every key sorts stably in its own
+    direction, so a descending key reverses its equal-key *groups* (not
+    the whole permutation — that would flip the tie order the less-
+    significant keys established, the bug the differential harness
+    caught) and full-row ties keep original row order.  The parallel
+    path is defined as bit-identical to this.
     """
     keys = [np.asarray(k) for k in keys]
     if ascending is None:
@@ -205,7 +211,7 @@ def serial_sort_permutation(
         vals = _orderable_key(key)[order]
         idx = np.argsort(vals, kind="stable")
         if not asc:
-            idx = idx[::-1]
+            idx = idx[_reverse_groups(vals[idx])]
         order = order[idx]
     return order
 
@@ -273,17 +279,16 @@ def _kway_merge(
     return runs[0][0]
 
 
-def _reversed_run_order(keys: np.ndarray) -> np.ndarray:
-    """Ascending-stable argsort of a *non-increasing* run, in O(n).
+def _reverse_groups(keys: np.ndarray) -> np.ndarray:
+    """Permutation emitting a run's equal-key groups in reverse order.
 
-    A non-increasing run read back-to-front is ascending, but its equal
-    keys come out in reversed offset order — the stable tie rule wants
-    them ascending.  So instead of reversing elementwise, the run's
-    equal-key groups (contiguous by sortedness; NaN/NaT collapse into
-    one group, matching argsort's tie behavior) are emitted in reverse
-    *group* order with each group's offsets ascending.  This is the
-    bridge that lets the forward k-way merge consume descending runs
-    while reproducing ``np.argsort(kind="stable")`` bit-for-bit.
+    ``keys`` must have equal keys contiguous (any sorted run qualifies;
+    NaN/NaT collapse into one group, matching argsort's tie behavior).
+    Groups come out back-to-front with each group's offsets kept
+    ascending — applied to an ascending-stable argsort this yields the
+    *descending* stable order: key groups reversed, ties untouched.
+    This per-group reversal is what SQL ``ORDER BY ... DESC`` needs; an
+    elementwise ``[::-1]`` would reverse tie order too.
     """
     n = len(keys)
     if n <= 1:
@@ -316,28 +321,28 @@ def merge_sorted_runs(
     the worker pool.
 
     With ``ascending=False``, ``run_keys`` are *non-increasing* runs and
-    the result is bit-identical to the canonical reversed-stable
-    descending order of the concatenation,
-    ``np.argsort(..., kind="stable")[::-1]`` — equal keys taken in
-    *decreasing* ``(run index, within-run offset)`` order, exactly what
-    the ``Sort`` operator and ``serial_sort_permutation`` produce for a
-    descending key.  Each run enters the tournament through its
-    ascending-stable view (:func:`_reversed_run_order`, O(run) — no
-    re-sort), the forward merge reconstructs the stable ascending
-    permutation, and one final reversal yields the descending order.
+    the result is the canonical descending stable order of the
+    concatenation: keys non-increasing, equal keys in ascending ``(run
+    index, within-run offset)`` order — matching what ``Sort`` /
+    :func:`serial_sort_permutation` produce for a descending key (ties
+    keep input order; SQL ``ORDER BY ... DESC`` semantics).  Mechanics:
+    every run enters the tournament reversed elementwise (making it
+    non-decreasing) and the runs pair up in reverse run order, so the
+    forward merge's "left wins ties" rule resolves ties to the *higher*
+    (run, offset); the single final reversal then flips keys to
+    descending and ties back to ascending (run, offset).
     """
+    arrays = [np.asarray(keys) for keys in run_keys]
+    offsets = np.concatenate([[0], np.cumsum([len(a) for a in arrays])]).astype(np.int64)
     runs: List[Tuple[np.ndarray, np.ndarray]] = []
-    offset = 0
-    for keys in run_keys:
-        keys = np.asarray(keys)
-        if ascending:
+    if ascending:
+        for keys, offset in zip(arrays, offsets):
             idx = np.arange(offset, offset + len(keys), dtype=np.int64)
-        else:
-            local = _reversed_run_order(keys)
-            idx = local + offset
-            keys = keys[local]
-        runs.append((idx, keys))
-        offset += len(keys)
+            runs.append((idx, keys))
+    else:
+        for keys, offset in reversed(list(zip(arrays, offsets))):
+            idx = np.arange(offset + len(keys) - 1, offset - 1, -1, dtype=np.int64)
+            runs.append((idx, keys[::-1]))
     ctx = context if context is not None and context.active else None
     merged = _kway_merge(runs, ctx)
     return merged if ascending else merged[::-1]
@@ -470,25 +475,19 @@ def sort_permutation(
 
     if len(okeys) == 1:
         perm = _stable_argsort(okeys[0], context, affinity)
-        return perm if ascending[0] else perm[::-1]
+        if not ascending[0]:
+            perm = perm[_reverse_groups(okeys[0][perm])]
+        return perm
 
-    # Effective direction of key i: each descending more-significant key
-    # reverses (in the serial loop) the order every less-significant key
-    # established for its ties, so e_i = d_1 * ... * d_i; full-row ties
-    # keep original order flipped once per descending key overall.
-    effective: List[bool] = []
-    sign = True
-    for asc in ascending:
-        sign = sign == asc
-        effective.append(sign)
-    tie_ascending = effective[-1]
-
+    # Each key's direction is independent (SQL ORDER BY): a descending
+    # key folds in by flipping that key's codes only, and the final
+    # stable argsort keeps full-row ties in original row order.
     code: Optional[np.ndarray] = None
     code_card = 1
-    for key, eff_asc in zip(okeys, effective):
+    for key, asc in zip(okeys, ascending):
         checkpoint()
         codes, card = _dense_codes(key, context, affinity)
-        if not eff_asc:
+        if not asc:
             codes = (card - 1) - codes
         if code is None:
             code, code_card = codes, card
@@ -502,7 +501,4 @@ def sort_permutation(
             code = code * card + codes
             code_card *= card
     assert code is not None
-    if not tie_ascending:
-        code = (code_card - 1) - code
-    perm = _stable_argsort(code, context, affinity)
-    return perm if tie_ascending else perm[::-1]
+    return _stable_argsort(code, context, affinity)

@@ -140,7 +140,7 @@ def _lower_node(plan: nodes.PlanNode, ctx: _LoweringContext) -> ops.Operator:
     if isinstance(plan, nodes.TopNNode):
         return ops.TopN(_lower(plan.child, ctx), plan.keys, plan.ascending, plan.n)
     if isinstance(plan, nodes.LimitNode):
-        return ops.Limit(_lower(plan.child, ctx), plan.n)
+        return ops.Limit(_lower(plan.child, ctx), plan.n, plan.offset)
     if isinstance(plan, nodes.UnionNode):
         return _ColumnAligningUnion([_lower(c, ctx) for c in plan.inputs])
     if isinstance(plan, nodes.MergeCombineNode):

@@ -268,11 +268,12 @@ class TopNNode(PlanNode):
 
 
 class LimitNode(PlanNode):
-    """First-n."""
+    """First-n, after skipping ``offset`` rows."""
 
-    def __init__(self, child: PlanNode, n: int) -> None:
+    def __init__(self, child: PlanNode, n: int, offset: int = 0) -> None:
         self.child = child
         self.n = n
+        self.offset = offset
 
     def children(self) -> List[PlanNode]:
         """Child nodes, left to right."""
@@ -280,6 +281,8 @@ class LimitNode(PlanNode):
 
     def label(self) -> str:
         """One-line node description."""
+        if self.offset:
+            return f"Limit({self.n}, offset={self.offset})"
         return f"Limit({self.n})"
 
 

@@ -161,7 +161,7 @@ def rebuild_node(plan: nodes.PlanNode, kids) -> nodes.PlanNode:
     if isinstance(plan, nodes.TopNNode):
         return nodes.TopNNode(kids[0], plan.keys, plan.ascending, plan.n)
     if isinstance(plan, nodes.LimitNode):
-        return nodes.LimitNode(kids[0], plan.n)
+        return nodes.LimitNode(kids[0], plan.n, plan.offset)
     if isinstance(plan, nodes.UnionNode):
         return nodes.UnionNode(kids)
     if isinstance(plan, nodes.MergeCombineNode):

@@ -345,6 +345,10 @@ class TopNSelection(PhysicalOperatorSelection):
                 plan = rebuild_node(plan, new_kids)
         if not isinstance(plan, nodes.LimitNode):
             return plan
+        if plan.offset:
+            # TopN keeps only the first n rows; an OFFSET needs the rows
+            # it skips, so the rewrite does not apply
+            return plan
         project: Optional[nodes.ProjectNode] = None
         target = plan.child
         if isinstance(target, nodes.ProjectNode):

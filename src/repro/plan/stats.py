@@ -149,7 +149,8 @@ def estimate_rows(node: nodes.PlanNode, catalog: Catalog) -> float:
         child = estimate_rows(node.child, catalog)
         return child if not node.group_keys else max(1.0, 0.1 * child)
     if isinstance(node, nodes.LimitNode):
-        return min(float(node.n), estimate_rows(node.child, catalog))
+        child = estimate_rows(node.child, catalog)
+        return min(float(node.n), max(0.0, child - float(node.offset)))
     if isinstance(node, nodes.TopNNode):
         return min(float(node.n), estimate_rows(node.child, catalog))
     if isinstance(node, (nodes.UnionNode, nodes.MergeCombineNode)):

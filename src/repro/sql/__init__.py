@@ -1,10 +1,14 @@
 """A small SQL front-end over the plan layer.
 
 Supports the query shapes the paper's evaluation uses — SELECT
-[DISTINCT] with WHERE / JOIN ... ON / GROUP BY / ORDER BY / LIMIT — and
-the update statements (INSERT / UPDATE / DELETE) that drive PatchIndex
-maintenance.  Parsed queries lower onto :mod:`repro.plan` logical plans,
-so every PatchIndex rewrite applies transparently to SQL text.
+[DISTINCT] with WHERE / JOIN ... ON / GROUP BY / ORDER BY / LIMIT
+[OFFSET] — and the update statements (INSERT / UPDATE / DELETE) that
+drive PatchIndex maintenance.  Parsed queries lower onto
+:mod:`repro.plan` logical plans, so every PatchIndex rewrite applies
+transparently to SQL text.  Column references are validated against the
+catalog at prepare time (:mod:`repro.sql.binder`), and NULL flows
+through literals, storage and predicates with SQLite-compatible
+semantics (see :class:`repro.engine.expressions.ComparisonExpr`).
 """
 
 from repro.sql.async_session import (
@@ -13,10 +17,19 @@ from repro.sql.async_session import (
     ServerClosedError,
     SessionOverloadedError,
 )
+from repro.sql.binder import (
+    AmbiguousColumnError,
+    BindError,
+    QualifiedRefUnsupportedError,
+    UnknownColumnError,
+    UnknownQualifierError,
+    bind_statement,
+)
 from repro.sql.lexer import Token, TokenKind, tokenize
-from repro.sql.parser import SetStatement, parse_statement
+from repro.sql.parser import ColumnRefInfo, SetStatement, parse_statement
 from repro.sql.session import (
     ConcurrentSessionError,
+    NullStorageError,
     PreparedStatement,
     SQLSession,
     classify_statement,
@@ -28,6 +41,13 @@ __all__ = [
     "TokenKind",
     "parse_statement",
     "SetStatement",
+    "ColumnRefInfo",
+    "BindError",
+    "AmbiguousColumnError",
+    "UnknownColumnError",
+    "UnknownQualifierError",
+    "QualifiedRefUnsupportedError",
+    "bind_statement",
     "SQLSession",
     "AsyncSQLSession",
     "QueryStats",
@@ -35,5 +55,6 @@ __all__ = [
     "SessionOverloadedError",
     "PreparedStatement",
     "ConcurrentSessionError",
+    "NullStorageError",
     "classify_statement",
 ]

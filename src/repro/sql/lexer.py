@@ -30,6 +30,7 @@ KEYWORDS = {
     "JOIN", "INNER", "ON", "AND", "OR", "NOT", "IN", "AS", "ASC", "DESC",
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "SUM", "COUNT",
     "MIN", "MAX", "AVG", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "NULL", "IS", "OFFSET",
 }
 
 OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]

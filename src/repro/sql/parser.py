@@ -1,8 +1,12 @@
 """Recursive-descent SQL parser lowering onto logical plans.
 
-Column names must be unique across joined tables (the TPC-H style this
-repo uses throughout); qualified references like ``l.l_orderkey`` are
-accepted and resolved by their column part.
+The engine resolves columns by bare name, so column names must be
+unique across joined tables (the TPC-H style this repo uses
+throughout).  Qualified references like ``l.l_orderkey`` keep their
+qualifier in the parsed statement's ``column_refs``; the binder
+(:mod:`repro.sql.binder`) validates them against the catalog at
+prepare time and raises typed errors for ambiguous or unresolvable
+references instead of silently resolving to whichever side wins.
 """
 
 from __future__ import annotations
@@ -10,12 +14,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.engine.expressions import Expression, col, lit, where
+from repro.engine.expressions import Expression, col, is_null, lit, where
 from repro.plan import nodes
 from repro.sql.lexer import SQLSyntaxError, Token, TokenKind, tokenize
 
 __all__ = [
     "parse_statement",
+    "ColumnRefInfo",
     "SelectStatement",
     "InsertStatement",
     "UpdateStatement",
@@ -26,12 +31,37 @@ __all__ = [
 AGG_FUNCS = {"SUM": "sum", "COUNT": "count", "MIN": "min", "MAX": "max", "AVG": "avg"}
 
 
+@dataclasses.dataclass(frozen=True)
+class ColumnRefInfo:
+    """One column reference as written: optional qualifier + column.
+
+    ``position`` is the character offset of the reference in the
+    statement text, for error messages.
+    """
+
+    qualifier: Optional[str]
+    column: str
+    position: int
+
+
 @dataclasses.dataclass
 class SelectStatement:
-    """A parsed SELECT, lowered to a logical plan."""
+    """A parsed SELECT, lowered to a logical plan.
+
+    ``sources`` maps each FROM range variable (the alias when one is
+    given, else the table name) to its table; ``column_refs`` lists
+    every column reference as written (qualifiers preserved);
+    ``derived_names`` are select-list outputs that introduce NEW names
+    (explicit aliases, aggregate/expression defaults) — ORDER BY may
+    legally reference these.  A bare passthrough column is deliberately
+    excluded: its output name cannot excuse the reference it came from.
+    """
 
     plan: nodes.PlanNode
     tables: List[str]
+    sources: Dict[str, str] = dataclasses.field(default_factory=dict)
+    column_refs: List[ColumnRefInfo] = dataclasses.field(default_factory=list)
+    derived_names: List[str] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -50,6 +80,7 @@ class UpdateStatement:
     table: str
     assignments: Dict[str, Expression]
     predicate: Optional[Expression]
+    column_refs: List[ColumnRefInfo] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -58,6 +89,7 @@ class DeleteStatement:
 
     table: str
     predicate: Optional[Expression]
+    column_refs: List[ColumnRefInfo] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -82,6 +114,8 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self._refs: List[ColumnRefInfo] = []
+        self._sources: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -153,9 +187,38 @@ class _Parser:
             keys, ascending = self._parse_order_list()
             plan = self._apply_order_by(plan, keys, ascending)
         if self._keyword("LIMIT"):
-            tok = self._expect(TokenKind.NUMBER)
-            plan = nodes.LimitNode(plan, int(tok.value))
-        return SelectStatement(plan=plan, tables=tables)
+            n = self._parse_count("LIMIT")
+            offset = 0
+            if self._accept(TokenKind.PUNCT, ","):
+                # SQLite's LIMIT <offset>, <count> form
+                offset, n = n, self._parse_count("LIMIT")
+            elif self._keyword("OFFSET"):
+                offset = self._parse_count("OFFSET")
+            plan = nodes.LimitNode(plan, n, offset)
+        derived_names = [
+            name
+            for name, spec in items
+            if spec != "*" and getattr(spec, "name", None) != name
+        ]
+        return SelectStatement(
+            plan=plan,
+            tables=tables,
+            sources=dict(self._sources),
+            column_refs=list(self._refs),
+            derived_names=derived_names,
+        )
+
+    def _parse_count(self, clause: str) -> int:
+        """A validated non-negative integer for LIMIT/OFFSET."""
+        negative = self._accept(TokenKind.OPERATOR, "-") is not None
+        tok = self._expect(TokenKind.NUMBER)
+        if negative or "." in tok.value:
+            sign = "-" if negative else ""
+            raise SQLSyntaxError(
+                f"{clause} requires a non-negative integer, got "
+                f"{sign}{tok.value} at position {tok.position}"
+            )
+        return int(tok.value)
 
     def _parse_select_items(self) -> List[Tuple[str, object]]:
         """List of (output name, spec) where spec is '*', an Expression,
@@ -190,7 +253,7 @@ class _Parser:
 
     def _parse_from(self) -> Tuple[nodes.PlanNode, List[str]]:
         table = self._expect(TokenKind.IDENT).value
-        self._maybe_alias()
+        self._register_source(table, self._maybe_alias())
         plan: nodes.PlanNode = nodes.ScanNode(table)
         tables = [table]
         while True:
@@ -199,7 +262,7 @@ class _Parser:
             elif not self._keyword("JOIN"):
                 break
             right = self._expect(TokenKind.IDENT).value
-            self._maybe_alias()
+            self._register_source(right, self._maybe_alias())
             self._expect(TokenKind.KEYWORD, "ON")
             left_key = self._parse_column_ref()
             self._expect(TokenKind.OPERATOR, "=")
@@ -208,18 +271,23 @@ class _Parser:
             tables.append(right)
         return plan, tables
 
-    def _maybe_alias(self) -> None:
-        # accept (and ignore) "table alias" and "table AS alias"
+    def _register_source(self, table: str, alias: Optional[str]) -> None:
+        """Record one FROM range variable (the alias hides the table name)."""
+        self._sources[alias or table] = table
+
+    def _maybe_alias(self) -> Optional[str]:
+        # accept "table alias" and "table AS alias"; returns the alias
         if self._keyword("AS"):
-            self._expect(TokenKind.IDENT)
-        elif self._peek().kind is TokenKind.IDENT:
+            return self._expect(TokenKind.IDENT).value
+        if self._peek().kind is TokenKind.IDENT:
             nxt = self._tokens[self._pos + 1]
             # a bare identifier followed by something that cannot start a
             # clause is an alias
             if nxt.kind in (TokenKind.KEYWORD, TokenKind.EOF) or nxt.matches(
                 TokenKind.PUNCT, ";"
             ):
-                self._advance()
+                return self._advance().value
+        return None
 
     def _push_predicate(
         self, plan: nodes.PlanNode, predicate: Expression
@@ -298,9 +366,15 @@ class _Parser:
                 return keys, ascending
 
     def _parse_column_ref(self) -> str:
-        name = self._expect(TokenKind.IDENT).value
+        tok = self._expect(TokenKind.IDENT)
+        name = tok.value
+        qualifier: Optional[str] = None
         if self._accept(TokenKind.PUNCT, "."):
+            qualifier = name
             name = self._expect(TokenKind.IDENT).value
+        # the engine resolves by bare name; the qualifier is preserved
+        # here and validated by the binder against the FROM sources
+        self._refs.append(ColumnRefInfo(qualifier, name, tok.position))
         return name
 
     # -- INSERT ----------------------------------------------------------
@@ -330,14 +404,25 @@ class _Parser:
                 return InsertStatement(table, columns, rows)
 
     def _parse_literal(self) -> object:
+        if self._accept(TokenKind.KEYWORD, "NULL"):
+            return None
         negative = self._accept(TokenKind.OPERATOR, "-") is not None
         tok = self._advance()
         if tok.kind is TokenKind.NUMBER:
             value: object = float(tok.value) if "." in tok.value else int(tok.value)
             return -value if negative else value
-        if tok.kind is TokenKind.STRING and not negative:
+        if tok.kind is TokenKind.STRING:
+            if negative:
+                raise SQLSyntaxError(
+                    f"cannot negate string literal {tok.value!r} "
+                    f"at position {tok.position}"
+                )
             return tok.value
-        raise SQLSyntaxError(f"expected literal, found {tok.value!r}")
+        if tok.matches(TokenKind.KEYWORD, "NULL"):
+            raise SQLSyntaxError(f"cannot negate NULL at position {tok.position}")
+        raise SQLSyntaxError(
+            f"expected literal, found {tok.value!r} at position {tok.position}"
+        )
 
     # -- UPDATE ----------------------------------------------------------
     def _parse_update(self) -> UpdateStatement:
@@ -352,7 +437,7 @@ class _Parser:
             if not self._accept(TokenKind.PUNCT, ","):
                 break
         predicate = self._parse_expr() if self._keyword("WHERE") else None
-        return UpdateStatement(table, assignments, predicate)
+        return UpdateStatement(table, assignments, predicate, column_refs=list(self._refs))
 
     # -- DELETE ----------------------------------------------------------
     def _parse_delete(self) -> DeleteStatement:
@@ -360,7 +445,7 @@ class _Parser:
         self._expect(TokenKind.KEYWORD, "FROM")
         table = self._expect(TokenKind.IDENT).value
         predicate = self._parse_expr() if self._keyword("WHERE") else None
-        return DeleteStatement(table, predicate)
+        return DeleteStatement(table, predicate, column_refs=list(self._refs))
 
     # -- SET -------------------------------------------------------------
     def _parse_set(self) -> SetStatement:
@@ -420,6 +505,11 @@ class _Parser:
                 ">=": lambda a, b: a >= b,
             }
             return ops[tok.value](expr, right)
+        if tok.matches(TokenKind.KEYWORD, "IS"):
+            self._advance()
+            negate = self._keyword("NOT")
+            self._expect(TokenKind.KEYWORD, "NULL")
+            return is_null(expr, negate)
         if tok.matches(TokenKind.KEYWORD, "IN"):
             self._advance()
             self._expect(TokenKind.PUNCT, "(")
@@ -460,6 +550,14 @@ class _Parser:
 
     def _parse_unary(self) -> Expression:
         if self._accept(TokenKind.OPERATOR, "-"):
+            tok = self._peek()
+            if tok.kind is TokenKind.STRING:
+                raise SQLSyntaxError(
+                    f"cannot negate string literal {tok.value!r} "
+                    f"at position {tok.position}"
+                )
+            if tok.matches(TokenKind.KEYWORD, "NULL"):
+                raise SQLSyntaxError(f"cannot negate NULL at position {tok.position}")
             return lit(0) - self._parse_unary()
         return self._parse_primary()
 
@@ -471,6 +569,9 @@ class _Parser:
         if tok.kind is TokenKind.STRING:
             self._advance()
             return lit(tok.value)
+        if tok.matches(TokenKind.KEYWORD, "NULL"):
+            self._advance()
+            return lit(None)
         if tok.kind is TokenKind.IDENT:
             return col(self._parse_column_ref())
         if tok.matches(TokenKind.PUNCT, "("):

@@ -46,6 +46,7 @@ from repro.plan.cost import CostModel
 from repro.plan.executor import execute_plan, explain_plan
 from repro.plan.joinorder import JOIN_ORDER_STRATEGIES
 from repro.plan.optimizer import Optimizer
+from repro.sql.binder import bind_statement
 from repro.sql.parser import (
     DeleteStatement,
     InsertStatement,
@@ -67,6 +68,7 @@ __all__ = [
     "SQLSession",
     "PreparedStatement",
     "ConcurrentSessionError",
+    "NullStorageError",
     "classify_statement",
     "KIND_READ",
     "KIND_WRITE",
@@ -78,6 +80,16 @@ __all__ = [
 KIND_READ = "read"
 KIND_WRITE = "write"
 KIND_SESSION = "session"
+
+
+class NullStorageError(ValueError):
+    """A NULL was routed at a column type that cannot represent it.
+
+    NULL is stored as ``None`` in object (STRING) columns and as NaN in
+    FLOAT64 columns; INT64 columns have no NULL representation, so
+    inserting or assigning NULL there raises this instead of numpy's
+    opaque conversion error.
+    """
 
 
 class ConcurrentSessionError(RuntimeError):
@@ -364,6 +376,10 @@ class SQLSession:
         planned against the post-write state it will observe.
         """
         kind = classify_statement(stmt)
+        # catalog-aware reference check: ambiguous / unknown / unresolvable
+        # qualified column refs fail here with typed errors, at prepare
+        # time, instead of resolving to whichever join side happens to win
+        bind_statement(stmt, self.catalog)
         plan: Optional[nodes.PlanNode] = None
         cost_hint = 0.0
         if isinstance(stmt, SelectStatement):
@@ -635,12 +651,7 @@ class SQLSession:
         for i, column in enumerate(stmt.columns):
             field = table.schema.field(column)
             raw = [row[i] for row in stmt.rows]
-            if field.type.numpy_dtype is object:
-                arr = np.empty(len(raw), dtype=object)
-                arr[:] = [str(v) for v in raw]
-            else:
-                arr = np.asarray(raw, dtype=field.type.numpy_dtype)
-            values[column] = arr
+            values[column] = _coerce_for_storage(column, field, raw)
         missing = set(table.schema.names) - set(stmt.columns)
         if missing:
             raise ValueError(f"INSERT must provide all columns; missing {sorted(missing)}")
@@ -720,10 +731,15 @@ class SQLSession:
         else:
             # literal-only assignments: broadcast over the matched rows
             rel = Relation({ROWID: rowids})
-        new_values = {
-            column: np.asarray(expr.evaluate(rel))
-            for column, expr in stmt.assignments.items()
-        }
+        new_values = {}
+        for column, expr in stmt.assignments.items():
+            arr = np.asarray(expr.evaluate(rel))
+            if arr.dtype == object:
+                # NULL assignments surface as None in an object array;
+                # route them at the column's storage representation
+                field = table.schema.field(column)
+                arr = _coerce_for_storage(column, field, list(arr))
+            new_values[column] = arr
         # last interruption window: past this point the mutation applies
         # atomically, so an interrupted UPDATE is provably un-applied
         checkpoint()
@@ -763,6 +779,31 @@ class SQLSession:
             self._rollback_logged(seq)
             raise
         return len(rowids)
+
+
+def _coerce_for_storage(column: str, field, raw) -> np.ndarray:
+    """Coerce a python value list to a column's storage array.
+
+    NULL (python ``None``) maps to the column type's representation —
+    ``None`` in object (STRING) columns, NaN in FLOAT64 columns — and
+    raises :class:`NullStorageError` for INT64 columns, which have no
+    NULL representation.  Non-NULL values coerce exactly as before
+    (strings via ``str``, numerics via ``np.asarray``).
+    """
+    dtype = field.type.numpy_dtype
+    if dtype is object:
+        arr = np.empty(len(raw), dtype=object)
+        arr[:] = [None if v is None else str(v) for v in raw]
+        return arr
+    if any(v is None for v in raw):
+        if not np.issubdtype(dtype, np.floating):
+            raise NullStorageError(
+                f"cannot store NULL in column {column!r}: its type "
+                f"({field.type.name}) has no NULL representation; only "
+                "STRING (None) and FLOAT64 (NaN) columns are nullable"
+            )
+        raw = [np.nan if v is None else v for v in raw]
+    return np.asarray(raw, dtype=dtype)
 
 
 def _morsel_predicate_rowids(arrays, predicate, chunk) -> np.ndarray:

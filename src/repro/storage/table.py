@@ -94,7 +94,8 @@ class Table:
             if field.type is ColumnType.STRING:
                 if arr.dtype != object:
                     obj = np.empty(len(arr), dtype=object)
-                    obj[:] = [str(v) for v in arr]
+                    # NULL (None) survives coercion; see repro.sql NULL rules
+                    obj[:] = [None if v is None else str(v) for v in arr]
                     arr = obj
             else:
                 arr = np.asarray(arr, dtype=field.type.numpy_dtype)

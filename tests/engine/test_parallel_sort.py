@@ -77,8 +77,9 @@ class TestSingleKey:
             asc = sort_permutation([keys], [True], context=ctx)
             desc = sort_permutation([keys], [False], context=ctx)
         np.testing.assert_array_equal(asc, np.arange(700))
-        # the serial reference reverses the stable order for descending
-        np.testing.assert_array_equal(desc, np.arange(700)[::-1])
+        # descending reverses the order of distinct-key groups only, so
+        # an all-equal input keeps original row order (SQL tie rule)
+        np.testing.assert_array_equal(desc, np.arange(700))
 
     def test_empty_and_single_row(self):
         with make_context(8) as ctx:
@@ -185,7 +186,8 @@ class TestObjectAndNoneKeys:
     def test_none_first_under_descending(self):
         keys = np.array([None, "a", "c", None], dtype=object)
         want = serial_sort_permutation([keys], [False])
-        assert want.tolist() == [3, 0, 2, 1]
+        # None group first (it sorts largest), in original row order
+        assert want.tolist() == [0, 3, 2, 1]
 
 
 class TestMergeSortedRuns:
@@ -210,10 +212,10 @@ class TestMergeSortedRuns:
 
 
 class TestDescendingMergeSortedRuns:
-    """The k-way merge learned the reversed-stable tie rule: merging
-    non-increasing runs with ``ascending=False`` must be bit-identical
-    to ``np.argsort(concat, kind="stable")[::-1]`` — the reference the
-    descending SortKey scan-merge used to fall back to."""
+    """Merging non-increasing runs with ``ascending=False`` must be
+    bit-identical to the serial descending sort of the concatenation:
+    distinct-key groups in descending order, equal keys in (run, offset)
+    order — the SQL tie rule (descending never reverses tie order)."""
 
     def _descending_runs(self, rng, n_runs, with_nan=False):
         runs = []
@@ -222,43 +224,43 @@ class TestDescendingMergeSortedRuns:
             vals = rng.integers(0, 12, n).astype(np.float64)
             if with_nan:
                 vals[rng.random(n) < 0.2] = np.nan
-            # canonical descending order (reversed-stable argsort)
+            # canonical descending order (group-reversed stable argsort)
             runs.append(vals[serial_sort_permutation([vals], [False])])
         return runs
 
     @pytest.mark.parametrize("parallelism", PARALLELISMS)
     @pytest.mark.parametrize("with_nan", [False, True])
-    def test_matches_reversed_stable_argsort(self, parallelism, with_nan):
+    def test_matches_serial_descending_sort(self, parallelism, with_nan):
         rng = np.random.default_rng(21)
         for trial in range(5):
             runs = self._descending_runs(rng, int(rng.integers(1, 6)), with_nan)
             concat = np.concatenate(runs) if runs else np.array([])
-            want = np.argsort(concat, kind="stable")[::-1]
+            want = serial_sort_permutation([concat], [False])
             with make_context(parallelism) as ctx:
                 got = merge_sorted_runs(runs, context=ctx, ascending=False)
             np.testing.assert_array_equal(got, want, err_msg=f"trial {trial}")
 
-    def test_ties_break_by_reversed_run_then_reversed_offset(self):
+    def test_ties_break_by_run_then_offset(self):
         runs = [np.array([2, 1, 1]), np.array([2, 1]), np.array([1, 0])]
         got = merge_sorted_runs(runs, ascending=False)
-        # the 2s in reversed run order; then every 1 in reversed
-        # (run, offset) order; the 0 last — exactly argsort[::-1]
+        # the 2s in (run, offset) order; then every 1 likewise; the 0
+        # last — same tie rule as the ascending merge
         concat = np.concatenate(runs)
-        np.testing.assert_array_equal(got, np.argsort(concat, kind="stable")[::-1])
-        assert got.tolist() == [3, 0, 5, 4, 2, 1, 6]
+        np.testing.assert_array_equal(got, serial_sort_permutation([concat], [False]))
+        assert got.tolist() == [0, 3, 1, 2, 4, 5, 6]
 
     def test_string_runs_supported(self):
         a = np.array(["pear", "fig", "apple"], dtype=object)
         b = np.array(["kiwi", "apple"], dtype=object)
         got = merge_sorted_runs([a, b], ascending=False)
         concat = np.concatenate([a, b])
-        np.testing.assert_array_equal(got, np.argsort(concat, kind="stable")[::-1])
+        np.testing.assert_array_equal(got, serial_sort_permutation([concat], [False]))
 
     def test_empty_and_single_runs(self):
         assert merge_sorted_runs([], ascending=False).tolist() == []
         one = np.array([3, 3, 1], dtype=np.int64)
         got = merge_sorted_runs([one], ascending=False)
-        np.testing.assert_array_equal(got, np.argsort(one, kind="stable")[::-1])
+        np.testing.assert_array_equal(got, serial_sort_permutation([one], [False]))
 
     @pytest.mark.parametrize("parallelism", PARALLELISMS)
     def test_sortkey_descending_scan_merge_leaves_reference_path(
@@ -289,9 +291,9 @@ class TestDescendingMergeSortedRuns:
             return real_argsort(*args, **kwargs)
 
         sk = SortKey(parts, "v", ascending=False, context=ctx)
-        # reference: full reversed-stable argsort of the concatenation
+        # reference: full serial descending sort of the concatenation
         concat = np.concatenate([p.column("v") for p in sk.sorted_parts])
-        want_order = real_argsort(concat, kind="stable")[::-1]
+        want_order = serial_sort_permutation([concat], [False])
         monkeypatch.setattr(sortkey_mod.np, "argsort", spying_argsort)
         got = sk.scan_sorted(["v", "mid"])
         assert not calls, "descending scan-merge fell back to a full argsort"

@@ -1,0 +1,110 @@
+"""The baseline diff gate: noise-tolerant, and never self-rewriting.
+
+Pins the :mod:`repro.bench.baselines` protocol with synthetic timings:
+the gate trips only past the slowdown factor, ignores sub-floor noise
+and brand-new queries, and a regressing run cannot refresh its own
+baseline even with ``BENCH_WRITE`` set (gate-before-write).
+"""
+
+import pytest
+
+from repro.bench.baselines import (
+    BaselineGateError,
+    diff_against_baselines,
+    gate_and_maybe_write,
+    load_baselines,
+    save_baselines,
+)
+
+
+@pytest.fixture()
+def clean_env(monkeypatch):
+    for var in ("BENCH_WRITE", "BENCH_BASELINE_RESET", "BENCH_BASELINE_FACTOR"):
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+def test_round_trip(tmp_path, clean_env):
+    path = str(tmp_path / "baselines.json")
+    save_baselines({"q1": 0.01, "q2": 0.02}, path)
+    assert load_baselines(path) == {"q1": 0.01, "q2": 0.02}
+
+
+def test_missing_file_is_empty(tmp_path):
+    assert load_baselines(str(tmp_path / "absent.json")) == {}
+
+
+def test_within_factor_passes(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    diffs = gate_and_maybe_write({"q": 0.045}, path)  # 4.5x < 5x
+    assert [d.regressed for d in diffs] == [False]
+
+
+def test_past_factor_fails(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    with pytest.raises(BaselineGateError, match="q:"):
+        gate_and_maybe_write({"q": 0.060}, path)  # 6x > 5x
+
+
+def test_factor_env_override(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    clean_env.setenv("BENCH_BASELINE_FACTOR", "10")
+    gate_and_maybe_write({"q": 0.060}, path)  # 6x < 10x: passes
+
+
+def test_sub_floor_noise_ignored(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.0002}, path)
+    # 10x slowdown, but both sides are micro-timings below the floor
+    diffs = gate_and_maybe_write({"q": 0.002}, path)
+    assert not diffs[0].regressed
+
+
+def test_new_query_has_no_gate(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"old": 0.01}, path)
+    diffs = gate_and_maybe_write({"old": 0.01, "fresh": 5.0}, path)
+    by_qid = {d.qid: d for d in diffs}
+    assert by_qid["fresh"].ratio is None
+    assert not by_qid["fresh"].regressed
+
+
+def test_gate_runs_before_write(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    clean_env.setenv("BENCH_WRITE", "1")
+    with pytest.raises(BaselineGateError):
+        gate_and_maybe_write({"q": 0.100}, path)
+    # the regressing timing must NOT have replaced the baseline
+    assert load_baselines(path) == {"q": 0.010}
+
+
+def test_reset_accepts_regression(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    clean_env.setenv("BENCH_BASELINE_RESET", "1")
+    gate_and_maybe_write({"q": 0.100}, path)
+    assert load_baselines(path) == {"q": 0.1}
+
+
+def test_write_merges_with_stored(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"kept": 0.01}, path)
+    clean_env.setenv("BENCH_WRITE", "1")
+    gate_and_maybe_write({"fresh": 0.02}, path)
+    assert load_baselines(path) == {"kept": 0.01, "fresh": 0.02}
+
+
+def test_no_write_without_env(tmp_path, clean_env):
+    path = str(tmp_path / "b.json")
+    save_baselines({"q": 0.010}, path)
+    gate_and_maybe_write({"q": 0.011}, path)
+    assert load_baselines(path) == {"q": 0.010}
+
+
+def test_diffs_sorted_by_qid(clean_env):
+    diffs = diff_against_baselines({"b": 1.0, "a": 2.0}, {})
+    assert [d.qid for d in diffs] == ["a", "b"]

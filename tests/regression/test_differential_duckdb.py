@@ -1,0 +1,43 @@
+"""Optional second reference engine: DuckDB (skipped when absent).
+
+The differential harness is engine-agnostic on the reference side — it
+only needs DB-API ``execute``/``executemany``/``fetchall`` — so the
+same corpus can cross-check against DuckDB when the ``differential``
+extra is installed (``pip install -e '.[differential]'``).  The
+NULL-probe section is excluded: its manifest documents *SQLite's*
+NULL placement (NULL-first ordering), which DuckDB does not share, and
+a manifest excuse that holds for one reference but not the other would
+make strict-xfail ambiguous.
+"""
+
+import pytest
+
+duckdb = pytest.importorskip("duckdb")
+
+from repro.testing import (  # noqa: E402  (importorskip must run first)
+    DifferentialPair,
+    build_reference_catalog,
+    default_corpus,
+    run_corpus,
+)
+
+
+def test_select_corpus_against_duckdb():
+    conn = duckdb.connect(":memory:")
+    try:
+        pair = DifferentialPair(build_reference_catalog(seed=0), conn=conn)
+        corpus = [
+            q
+            for q in default_corpus(seed=7)
+            if q.kind == "select" and not q.qid.startswith("null/")
+        ]
+        report = run_corpus(pair, corpus)
+        detail = "; ".join(
+            [str(m) for m in report.mismatches]
+            + [str(u) for u in report.unsupported]
+            + [f"stale xfail: {q}" for q in report.xpassed]
+        )
+        assert report.ok, f"{report.summary()} -- {detail}"
+        pair.session.close()
+    finally:
+        conn.close()

@@ -1,0 +1,122 @@
+"""NULL must survive the full pipeline, not just the parser.
+
+Satellite contract: a NULL written through INSERT/UPDATE round-trips
+through WAL replay and the async session, IS [NOT] NULL sees it, and a
+column type with no NULL representation refuses it with a typed error
+instead of storing garbage.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.sql import AsyncSQLSession, NullStorageError, SQLSession
+from repro.storage import Catalog, Table
+
+
+def make_catalog():
+    cat = Catalog()
+    cat.register(
+        Table.from_arrays(
+            "people",
+            {
+                "pid": np.arange(6, dtype=np.int64),
+                "pname": np.array([f"p{i}" for i in range(6)], dtype=object),
+                "score": np.arange(6, dtype=np.float64),
+            },
+        )
+    )
+    return cat
+
+
+class TestStorage:
+    def test_insert_null_string_and_float(self):
+        s = SQLSession(make_catalog())
+        s.execute("INSERT INTO people (pid, pname, score) VALUES (6, NULL, NULL)")
+        rel = s.execute("SELECT pid FROM people WHERE pname IS NULL")
+        assert rel.column("pid").tolist() == [6]
+        rel = s.execute("SELECT pid FROM people WHERE score IS NULL")
+        assert rel.column("pid").tolist() == [6]
+
+    def test_update_to_null(self):
+        s = SQLSession(make_catalog())
+        assert s.execute("UPDATE people SET pname = NULL WHERE pid < 2") == 2
+        rel = s.execute("SELECT pid FROM people WHERE pname IS NULL ORDER BY pid")
+        assert rel.column("pid").tolist() == [0, 1]
+
+    def test_null_excluded_from_comparisons(self):
+        s = SQLSession(make_catalog())
+        s.execute("UPDATE people SET pname = NULL WHERE pid = 0")
+        # neither = nor <> matches a NULL cell (SQL comparison semantics)
+        eq = s.execute("SELECT pid FROM people WHERE pname = 'p0'")
+        ne = s.execute("SELECT pid FROM people WHERE pname <> 'p0' ORDER BY pid")
+        assert eq.num_rows == 0
+        assert ne.column("pid").tolist() == [1, 2, 3, 4, 5]
+
+    def test_int_column_refuses_null_on_insert(self):
+        s = SQLSession(make_catalog())
+        with pytest.raises(NullStorageError, match="INT64"):
+            s.execute("INSERT INTO people (pid, pname, score) VALUES (NULL, 'x', 1.0)")
+
+    def test_int_column_refuses_null_on_update(self):
+        s = SQLSession(make_catalog())
+        with pytest.raises(NullStorageError):
+            s.execute("UPDATE people SET pid = NULL WHERE pid = 0")
+
+    def test_refused_insert_leaves_table_unchanged(self):
+        s = SQLSession(make_catalog())
+        with pytest.raises(NullStorageError):
+            s.execute("INSERT INTO people (pid, pname, score) VALUES (NULL, 'x', 1.0)")
+        assert s.execute("SELECT COUNT(*) AS n FROM people").column("n").tolist() == [6]
+
+
+class TestWalReplay:
+    def test_nulls_survive_crash_recovery(self, tmp_path):
+        s = SQLSession(make_catalog(), data_dir=str(tmp_path), wal_sync="off")
+        s.execute("INSERT INTO people (pid, pname, score) VALUES (6, NULL, NULL)")
+        s.execute("UPDATE people SET pname = NULL WHERE pid = 1")
+        del s  # crash: no close, no checkpoint — reopen replays the WAL
+        s2 = SQLSession(make_catalog(), data_dir=str(tmp_path), wal_sync="off")
+        rel = s2.execute("SELECT pid FROM people WHERE pname IS NULL ORDER BY pid")
+        assert rel.column("pid").tolist() == [1, 6]
+        rel = s2.execute("SELECT pid FROM people WHERE score IS NULL")
+        assert rel.column("pid").tolist() == [6]
+        s2.close()
+
+    def test_nulls_survive_checkpoint_then_replay(self, tmp_path):
+        s = SQLSession(
+            make_catalog(), data_dir=str(tmp_path), wal_sync="off",
+            checkpoint_interval=1,
+        )
+        s.execute("UPDATE people SET pname = NULL WHERE pid = 2")
+        s.execute("INSERT INTO people (pid, pname, score) VALUES (7, NULL, 3.5)")
+        del s
+        s2 = SQLSession(make_catalog(), data_dir=str(tmp_path), wal_sync="off")
+        rel = s2.execute("SELECT pid FROM people WHERE pname IS NULL ORDER BY pid")
+        assert rel.column("pid").tolist() == [2, 7]
+        s2.close()
+
+
+class TestAsyncSession:
+    def test_null_through_async_session(self):
+        async def scenario():
+            async with AsyncSQLSession(make_catalog()) as db:
+                await db.execute(
+                    "INSERT INTO people (pid, pname, score) VALUES (6, NULL, NULL)"
+                )
+                await db.execute("UPDATE people SET pname = NULL WHERE pid = 0")
+                rel = await db.execute(
+                    "SELECT pid FROM people WHERE pname IS NULL ORDER BY pid"
+                )
+                return rel.column("pid").tolist()
+
+        assert asyncio.run(asyncio.wait_for(scenario(), 60.0)) == [0, 6]
+
+    def test_null_storage_error_propagates_async(self):
+        async def scenario():
+            async with AsyncSQLSession(make_catalog()) as db:
+                with pytest.raises(NullStorageError):
+                    await db.execute("UPDATE people SET pid = NULL WHERE pid = 0")
+
+        asyncio.run(asyncio.wait_for(scenario(), 60.0))

@@ -1,0 +1,116 @@
+"""Parallel execution must be bit-identical to serial on the corpus.
+
+Satellite contract: the differential corpus' SELECT section and its
+seeded DML mix produce byte-for-byte the same results at parallelism
+1/2/8 as serially — including the descending-sort tie order whose
+divergence the cross-engine harness originally surfaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql import SQLSession
+from repro.storage import Catalog, Table
+from repro.testing import build_reference_catalog, default_corpus
+from repro.testing.differential import random_dml_corpus
+
+PARALLELISMS = [1, 2, 8]
+
+CORPUS_SELECTS = [q for q in default_corpus(seed=7) if q.kind == "select"]
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_reference_catalog(seed=0)
+
+
+def assert_relations_identical(want, got, label):
+    assert want.column_names == got.column_names, label
+    for name in want.column_names:
+        a, b = want.column(name), got.column(name)
+        assert a.dtype == b.dtype, (label, name)
+        if a.dtype.kind == "f":
+            # NaN-aware exact equality (NaN is our FLOAT64 NULL)
+            both_nan = np.isnan(a) & np.isnan(b)
+            assert np.array_equal(a[~both_nan], b[~both_nan]), (label, name)
+        else:
+            np.testing.assert_array_equal(a, b, err_msg=f"{label} / {name}")
+
+
+class TestSelectIdentity:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_corpus_selects_bit_identical(self, catalog, parallelism):
+        serial = SQLSession(catalog)
+        with SQLSession(
+            catalog, parallelism=parallelism, morsel_rows=256
+        ) as parallel:
+            for query in CORPUS_SELECTS:
+                want = serial.execute(query.sql)
+                got = parallel.execute(query.sql)
+                assert_relations_identical(want, got, query.qid)
+
+
+class TestDmlIdentity:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_dml_mix_bit_identical(self, parallelism):
+        mix = random_dml_corpus(seed=11, rounds=8)
+        serial_cat = build_reference_catalog(seed=0)
+        parallel_cat = build_reference_catalog(seed=0)
+        serial = SQLSession(serial_cat)
+        with SQLSession(
+            parallel_cat, parallelism=parallelism, morsel_rows=64
+        ) as parallel:
+            for query in mix:
+                want_count = serial.execute(query.sql)
+                got_count = parallel.execute(query.sql)
+                assert int(want_count) == int(got_count), query.qid
+            a = serial_cat.table("events")
+            b = parallel_cat.table("events")
+            assert a.num_rows == b.num_rows
+            for name in a.schema.names:
+                np.testing.assert_array_equal(
+                    a.column(name), b.column(name), err_msg=name
+                )
+
+
+class TestDescendingTieOrder:
+    """The bug the harness caught: ``ORDER BY k DESC, name`` must keep
+    the secondary key ASCENDING inside equal primary keys — the old
+    whole-permutation reversal flipped it."""
+
+    def _catalog(self):
+        cat = Catalog()
+        cat.register(
+            Table.from_arrays(
+                "scores",
+                {
+                    "sid": np.arange(8, dtype=np.int64),
+                    "grp": np.array([1, 1, 1, 2, 2, 2, 2, 1], dtype=np.int64),
+                    "name": np.array(list("dacbdacb"), dtype=object),
+                },
+            )
+        )
+        return cat
+
+    def test_secondary_key_stays_ascending_within_desc_ties(self):
+        s = SQLSession(self._catalog())
+        rel = s.execute("SELECT grp, name FROM scores ORDER BY grp DESC, name")
+        assert rel.column("grp").tolist() == [2, 2, 2, 2, 1, 1, 1, 1]
+        assert rel.column("name").tolist() == ["a", "b", "c", "d", "a", "b", "c", "d"]
+
+    def test_full_row_ties_keep_original_order_descending(self):
+        s = SQLSession(self._catalog())
+        rel = s.execute("SELECT sid FROM scores WHERE grp = 2 ORDER BY grp DESC")
+        # all four rows tie on the sort key: original row order survives
+        assert rel.column("sid").tolist() == [3, 4, 5, 6]
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    def test_desc_tie_order_identical_in_parallel(self, parallelism):
+        serial = SQLSession(self._catalog())
+        with SQLSession(
+            self._catalog(), parallelism=parallelism, morsel_rows=2
+        ) as parallel:
+            sql = "SELECT sid, grp, name FROM scores ORDER BY grp DESC, name"
+            assert_relations_identical(
+                serial.execute(sql), parallel.execute(sql), "desc-tie"
+            )

@@ -1,0 +1,149 @@
+"""Regression pins for the three parser/binder bugs this PR fixed.
+
+1. ``_parse_literal`` rejected NULL outright and negated strings blew
+   up with a bare TypeError deep in expression evaluation;
+2. ``_parse_column_ref`` silently dropped the table qualifier, so
+   ``a.x`` resolved against *any* table and ambiguity went undetected;
+3. LIMIT accepted negative/float values (slicing garbage) and OFFSET
+   was unsupported.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sql import (
+    AmbiguousColumnError,
+    BindError,
+    QualifiedRefUnsupportedError,
+    SQLSession,
+    UnknownColumnError,
+    UnknownQualifierError,
+    parse_statement,
+)
+from repro.sql.lexer import SQLSyntaxError
+from repro.storage import Catalog, Table
+
+
+def make_catalog():
+    cat = Catalog()
+    cat.register(
+        Table.from_arrays(
+            "t",
+            {
+                "a": np.arange(10, dtype=np.int64),
+                "b": (np.arange(10) * 1.5).astype(np.float64),
+                "name": np.array([f"n{i}" for i in range(10)], dtype=object),
+            },
+        )
+    )
+    cat.register(
+        Table.from_arrays(
+            "u",
+            {
+                "a": np.arange(5, dtype=np.int64),
+                "c": np.arange(5, dtype=np.int64) * 10,
+            },
+        )
+    )
+    return cat
+
+
+@pytest.fixture()
+def session():
+    return SQLSession(make_catalog())
+
+
+class TestNullLiteral:
+    def test_null_parses_in_predicate(self):
+        stmt = parse_statement("SELECT a FROM t WHERE name = NULL")
+        assert stmt is not None
+
+    def test_null_comparison_selects_nothing(self, session):
+        assert session.execute("SELECT a FROM t WHERE name = NULL").num_rows == 0
+
+    def test_negated_string_is_a_clear_syntax_error(self):
+        with pytest.raises(SQLSyntaxError, match="cannot negate string literal 'abc'"):
+            parse_statement("SELECT a FROM t WHERE name = -'abc'")
+
+    def test_negated_null_is_a_clear_syntax_error(self):
+        with pytest.raises(SQLSyntaxError, match="cannot negate NULL"):
+            parse_statement("SELECT a FROM t WHERE a = -NULL")
+
+    def test_negated_numbers_still_work(self, session):
+        rel = session.execute("SELECT a FROM t WHERE a > -1 ORDER BY a LIMIT 2")
+        assert rel.column("a").tolist() == [0, 1]
+
+
+class TestQualifiedRefs:
+    def test_alias_qualifier_resolves(self, session):
+        rel = session.execute("SELECT x.a FROM t x WHERE x.a < 3 ORDER BY x.a")
+        assert rel.column("a").tolist() == [0, 1, 2]
+
+    def test_table_name_qualifier_resolves(self, session):
+        rel = session.execute("SELECT t.a FROM t WHERE t.a = 4")
+        assert rel.column("a").tolist() == [4]
+
+    def test_unknown_qualifier_raises_typed_error(self, session):
+        with pytest.raises(UnknownQualifierError):
+            session.execute("SELECT z.a FROM t WHERE z.a = 1")
+
+    def test_alias_hides_table_name(self, session):
+        # with an alias bound, the bare table name is no longer a
+        # valid qualifier (SQLite behavior)
+        with pytest.raises(UnknownQualifierError):
+            session.execute("SELECT t.a FROM t x WHERE t.a = 1")
+
+    def test_ambiguous_bare_column_raises(self, session):
+        with pytest.raises(AmbiguousColumnError):
+            session.execute("SELECT a FROM t JOIN u ON b = c WHERE a = 1")
+
+    def test_unknown_column_raises_and_stays_a_keyerror(self, session):
+        with pytest.raises(UnknownColumnError) as info:
+            session.execute("SELECT nope FROM t")
+        assert isinstance(info.value, KeyError)  # pre-binder compatibility
+        assert isinstance(info.value, BindError)
+
+    def test_qualified_ref_to_duplicated_column_is_explicit(self, session):
+        # both t and u hold column a; the engine resolves by bare name,
+        # so a qualified pick between them is a typed refusal rather
+        # than a silently wrong answer
+        with pytest.raises(QualifiedRefUnsupportedError):
+            session.execute("SELECT t.a FROM t JOIN u ON b = c")
+
+    def test_errors_surface_at_prepare_time(self, session):
+        with pytest.raises(UnknownColumnError):
+            session.prepare("SELECT nope FROM t")
+
+
+class TestLimitOffset:
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="non-negative"):
+            parse_statement("SELECT a FROM t LIMIT -1")
+
+    def test_float_limit_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="non-negative"):
+            parse_statement("SELECT a FROM t LIMIT 1.5")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="non-negative"):
+            parse_statement("SELECT a FROM t LIMIT 5 OFFSET -2")
+
+    def test_limit_offset_slices(self, session):
+        rel = session.execute("SELECT a FROM t ORDER BY a LIMIT 3 OFFSET 2")
+        assert rel.column("a").tolist() == [2, 3, 4]
+
+    def test_sqlite_comma_form(self, session):
+        # LIMIT <offset>, <count>
+        rel = session.execute("SELECT a FROM t ORDER BY a LIMIT 2, 3")
+        assert rel.column("a").tolist() == [2, 3, 4]
+
+    def test_offset_past_end_is_empty(self, session):
+        assert session.execute("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 99").num_rows == 0
+
+    def test_limit_zero(self, session):
+        assert session.execute("SELECT a FROM t ORDER BY a LIMIT 0").num_rows == 0
+
+    def test_offset_with_descending_topn_shape(self, session):
+        # the TopN rewrite must not swallow the skipped prefix
+        rel = session.execute("SELECT a FROM t ORDER BY a DESC LIMIT 3 OFFSET 1")
+        assert rel.column("a").tolist() == [8, 7, 6]
